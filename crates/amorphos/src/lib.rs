@@ -1,0 +1,44 @@
+//! # synergy-amorphos
+//!
+//! An AmorphOS-like OS-level protection layer for FPGAs (§2.2 of the SYNERGY
+//! paper), rebuilt as a library so the SYNERGY hypervisor can target it as a
+//! backend (§5.2).
+//!
+//! AmorphOS extends processes with *Morphlets*, spatially shares an FPGA among
+//! Morphlets from mutually distrustful protection domains, falls back to
+//! time-sharing when space runs out, and mediates access through a shell-like
+//! *hull* that provides isolation and compatibility. It also exposes the
+//! quiescence interface that SYNERGY satisfies transparently on behalf of
+//! applications.
+#![warn(missing_docs)]
+
+mod hull;
+mod morphlet;
+
+pub use hull::{Hull, HullError, Placement, QuiescenceNotice};
+pub use morphlet::{DomainId, Morphlet, MorphletId, MorphletState, Quiescence};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_fpga::{Device, SynthOptions};
+
+    #[test]
+    fn hull_integrates_with_synth_estimates() {
+        // End-to-end: estimate a real design and register it as a Morphlet.
+        let device = Device::f1();
+        let design = synergy_vlog::compile(
+            r#"module M(input wire clock, output wire [31:0] out);
+                   reg [31:0] acc = 0;
+                   always @(posedge clock) acc <= acc + 3;
+                   assign out = acc;
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        let report = synergy_fpga::estimate(&design, &device, SynthOptions::native(&device));
+        let mut hull = Hull::new(&device);
+        let id = hull.register(DomainId(1), "acc", report, Quiescence::Transparent);
+        assert!(hull.morphlet(id).unwrap().is_resident());
+    }
+}

@@ -1,0 +1,233 @@
+//! Bitstreams and the compilation cache.
+//!
+//! Synergy's backends rely on compilation caches to reduce overhead in production
+//! environments (§5.1, §7): virtualization events must not wait for a 20-minute
+//! Quartus build or a 2-hour Vivado build. Bitstreams here are content-addressed by
+//! the generated source text plus the device and synthesis options, exactly like the
+//! deterministic-code-generation keying the paper describes.
+
+use crate::device::Device;
+use crate::synth::{estimate, SynthOptions, SynthReport};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use synergy_vlog::elaborate::ElabModule;
+
+/// A compiled configuration for a device: the output of synthesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bitstream {
+    /// Content hash identifying this bitstream.
+    pub id: u64,
+    /// Name of the module the bitstream implements.
+    pub module_name: String,
+    /// Device the bitstream was compiled for.
+    pub device_name: String,
+    /// Resource usage and achieved timing.
+    pub report: SynthReport,
+}
+
+/// Key for cache lookups.
+fn cache_key(source: &str, device: &Device, options: &SynthOptions) -> u64 {
+    let mut h = DefaultHasher::new();
+    source.hash(&mut h);
+    device.name.hash(&mut h);
+    format!("{:?}", options).hash(&mut h);
+    h.finish()
+}
+
+/// Statistics kept by the [`BitstreamCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of lookups that found an existing bitstream.
+    pub hits: u64,
+    /// Number of lookups that required a fresh compilation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A shared, content-addressed bitstream cache.
+///
+/// Cloning the cache produces another handle to the same underlying storage, so a
+/// hypervisor and its backends can share one cache.
+#[derive(Debug, Clone, Default)]
+pub struct BitstreamCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<u64, Bitstream>,
+    stats: CacheStats,
+}
+
+/// The result of asking the cache to compile a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileOutcome {
+    /// The bitstream (fresh or cached).
+    pub bitstream: Bitstream,
+    /// Whether the bitstream came from the cache.
+    pub cache_hit: bool,
+    /// Simulated latency of obtaining it: zero-ish for a hit, the full synthesis
+    /// latency for a miss.
+    pub latency_ns: u64,
+}
+
+impl BitstreamCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles `module` (with source text `source`) for `device`, reusing a cached
+    /// bitstream when the content key matches.
+    pub fn compile(
+        &self,
+        source: &str,
+        module: &ElabModule,
+        device: &Device,
+        options: SynthOptions,
+    ) -> CompileOutcome {
+        let key = cache_key(source, device, &options);
+        {
+            let mut inner = self.inner.lock();
+            if let Some(bs) = inner.entries.get(&key).cloned() {
+                inner.stats.hits += 1;
+                return CompileOutcome {
+                    bitstream: bs,
+                    cache_hit: true,
+                    // A cache hit is a database lookup, not a build (§5.1).
+                    latency_ns: 1_000_000,
+                };
+            }
+        }
+        let report = estimate(module, device, options);
+        let bitstream = Bitstream {
+            id: key,
+            module_name: module.name.clone(),
+            device_name: device.name.clone(),
+            report,
+        };
+        let mut inner = self.inner.lock();
+        inner.stats.misses += 1;
+        inner.entries.insert(key, bitstream.clone());
+        CompileOutcome {
+            bitstream,
+            cache_hit: false,
+            latency_ns: report.synth_latency_ns,
+        }
+    }
+
+    /// Pre-populates the cache (the paper primes bitstream caches before running
+    /// experiments, §6).
+    pub fn prime(
+        &self,
+        source: &str,
+        module: &ElabModule,
+        device: &Device,
+        options: SynthOptions,
+    ) -> Bitstream {
+        let outcome = self.compile(source, module, device, options);
+        outcome.bitstream
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of distinct bitstreams stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// `true` if the cache holds no bitstreams.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_vlog::compile;
+
+    fn design() -> (String, ElabModule) {
+        let src = r#"module M(input wire clock, output wire [7:0] out);
+                         reg [7:0] c = 0;
+                         always @(posedge clock) c <= c + 1;
+                         assign out = c;
+                     endmodule"#;
+        (src.to_string(), compile(src, "M").unwrap())
+    }
+
+    #[test]
+    fn second_compile_hits_cache() {
+        let (src, m) = design();
+        let device = Device::f1();
+        let cache = BitstreamCache::new();
+        let opts = SynthOptions::native(&device);
+        let first = cache.compile(&src, &m, &device, opts);
+        let second = cache.compile(&src, &m, &device, opts);
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert!(second.latency_ns < first.latency_ns);
+        assert_eq!(first.bitstream, second.bitstream);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_devices_get_different_bitstreams() {
+        let (src, m) = design();
+        let cache = BitstreamCache::new();
+        let de10 = Device::de10();
+        let f1 = Device::f1();
+        cache.compile(&src, &m, &de10, SynthOptions::native(&de10));
+        cache.compile(&src, &m, &f1, SynthOptions::native(&f1));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn different_options_are_not_conflated() {
+        let (src, m) = design();
+        let device = Device::f1();
+        let cache = BitstreamCache::new();
+        cache.compile(&src, &m, &device, SynthOptions::native(&device));
+        cache.compile(&src, &m, &device, SynthOptions::synergy(&device, 64, 1));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shared_handles_see_the_same_cache() {
+        let (src, m) = design();
+        let device = Device::de10();
+        let cache = BitstreamCache::new();
+        let clone = cache.clone();
+        cache.prime(&src, &m, &device, SynthOptions::native(&device));
+        let outcome = clone.compile(&src, &m, &device, SynthOptions::native(&device));
+        assert!(outcome.cache_hit);
+    }
+
+    #[test]
+    fn hit_rate_reflects_usage() {
+        let stats = CacheStats { hits: 3, misses: 1 };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Multi-device clusters and cross-device workload migration.
+//!
+//! The paper's evaluation spans a cluster of DE10 SoCs and F1 cloud instances
+//! (§6.1): programs are suspended on one node and resumed on another, without
+//! exposing the architectural differences between the platforms. A [`Cluster`]
+//! holds one [`Hypervisor`] per node (all sharing a bitstream cache) and provides
+//! the migration primitive used by Figures 9 and 10. It also demonstrates the
+//! nesting property of §4.1: a hypervisor whose device is full can delegate a
+//! deployment to another node.
+
+use crate::hypervisor::{AppId, DeployOutcome, HvError, Hypervisor};
+use serde::{Deserialize, Serialize};
+use synergy_amorphos::DomainId;
+use synergy_fpga::{BitstreamCache, Device};
+use synergy_runtime::Runtime;
+
+/// Identifies a node (one device + hypervisor) within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// A cluster of hypervisor-managed devices sharing one compilation cache.
+pub struct Cluster {
+    nodes: Vec<Hypervisor>,
+    cache: BitstreamCache,
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Cluster {
+            nodes: Vec::new(),
+            cache: BitstreamCache::new(),
+        }
+    }
+
+    /// Adds a node managing the given device.
+    pub fn add_node(&mut self, device: Device) -> NodeId {
+        let hv = Hypervisor::with_cache(device, self.cache.clone());
+        self.nodes.push(hv);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The shared bitstream cache.
+    pub fn cache(&self) -> &BitstreamCache {
+        &self.cache
+    }
+
+    /// Access to a node's hypervisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn node(&self, id: NodeId) -> &Hypervisor {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node's hypervisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Hypervisor {
+        &mut self.nodes[id.0]
+    }
+
+    /// Migrates a running application from one node to another: the source node
+    /// suspends it (state capture through `$save`-style get requests), the target
+    /// node deploys the same program and restores the captured state, and execution
+    /// continues there (the Figure 9 / Figure 10 flow).
+    ///
+    /// Returns the application's id on the target node together with the target's
+    /// deployment outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the application is unknown on the source node or the
+    /// target cannot deploy it.
+    pub fn migrate(
+        &mut self,
+        from: NodeId,
+        app: AppId,
+        to: NodeId,
+        domain: DomainId,
+        io_bound: bool,
+    ) -> Result<(AppId, DeployOutcome), HvError> {
+        let runtime: Runtime = self.node_mut(from).disconnect(app)?;
+        let target = self.node_mut(to);
+        let new_id = target.connect(runtime, domain, io_bound);
+        let outcome = target.deploy(new_id)?;
+        Ok((new_id, outcome))
+    }
+
+    /// Deploys an application on `preferred`, falling back to the other nodes when
+    /// the preferred device cannot admit it — the nested-delegation behaviour of
+    /// §4.1 (step 6 of Figure 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last node's error if no node can host the application.
+    pub fn deploy_with_delegation(
+        &mut self,
+        preferred: NodeId,
+        app: AppId,
+        domain: DomainId,
+        io_bound: bool,
+    ) -> Result<(NodeId, AppId, DeployOutcome), HvError> {
+        match self.node_mut(preferred).deploy(app) {
+            Ok(outcome) => Ok((preferred, app, outcome)),
+            Err(HvError::Fabric(_)) => {
+                // Delegate to the first other node that accepts the program.
+                let runtime = self.node_mut(preferred).disconnect(app)?;
+                let mut runtime = Some(runtime);
+                let mut last_err = HvError::UnknownApp(app.0);
+                for idx in 0..self.nodes.len() {
+                    if idx == preferred.0 {
+                        continue;
+                    }
+                    let rt = runtime.take().expect("runtime present");
+                    let node = &mut self.nodes[idx];
+                    let new_id = node.connect(rt, domain, io_bound);
+                    match node.deploy(new_id) {
+                        Ok(outcome) => return Ok((NodeId(idx), new_id, outcome)),
+                        Err(e) => {
+                            last_err = e;
+                            runtime = Some(node.disconnect(new_id)?);
+                        }
+                    }
+                }
+                Err(last_err)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = r#"
+        module Counter(input wire clock, output wire [31:0] out);
+            reg [31:0] count = 0;
+            always @(posedge clock) count <= count + 1;
+            assign out = count;
+        endmodule
+    "#;
+
+    fn counter_runtime(name: &str) -> Runtime {
+        Runtime::new(name, COUNTER, "Counter", "clock").unwrap()
+    }
+
+    #[test]
+    fn migration_between_heterogeneous_nodes_preserves_state() {
+        let mut cluster = Cluster::new();
+        let de10 = cluster.add_node(Device::de10());
+        let f1 = cluster.add_node(Device::f1());
+
+        let app = cluster
+            .node_mut(de10)
+            .connect(counter_runtime("mips"), DomainId(1), false);
+        cluster.node_mut(de10).deploy(app).unwrap();
+        cluster.node_mut(de10).run_round(0.0002).unwrap();
+        let before = cluster
+            .node(de10)
+            .app(app)
+            .unwrap()
+            .get_bits("count")
+            .unwrap()
+            .to_u64();
+        assert!(before > 0);
+
+        let (new_app, outcome) = cluster.migrate(de10, app, f1, DomainId(1), false).unwrap();
+        assert_eq!(outcome.global_clock_hz, 250_000_000);
+        let after_migration = cluster
+            .node(f1)
+            .app(new_app)
+            .unwrap()
+            .get_bits("count")
+            .unwrap()
+            .to_u64();
+        assert_eq!(after_migration, before, "state is preserved across devices");
+
+        cluster.node_mut(f1).run_round(0.0002).unwrap();
+        let after_run = cluster
+            .node(f1)
+            .app(new_app)
+            .unwrap()
+            .get_bits("count")
+            .unwrap()
+            .to_u64();
+        assert!(after_run > before);
+        // The source node no longer knows the application.
+        assert!(cluster.node(de10).app(app).is_err());
+    }
+
+    #[test]
+    fn delegation_falls_back_when_the_preferred_device_is_full() {
+        let mut cluster = Cluster::new();
+        // A toy device too small for anything.
+        let tiny = Device {
+            name: "tiny".into(),
+            lut_capacity: 10,
+            ff_capacity: 10,
+            bram_bits: 10,
+            ..Device::de10()
+        };
+        let small = cluster.add_node(tiny);
+        let big = cluster.add_node(Device::f1());
+        let app = cluster
+            .node_mut(small)
+            .connect(counter_runtime("c"), DomainId(1), false);
+        let (node, new_app, _) = cluster
+            .deploy_with_delegation(small, app, DomainId(1), false)
+            .unwrap();
+        assert_eq!(node, big);
+        assert!(cluster.node(big).app(new_app).is_ok());
+    }
+
+    #[test]
+    fn shared_cache_spans_nodes_of_the_same_device_type() {
+        let mut cluster = Cluster::new();
+        let a = cluster.add_node(Device::de10());
+        let b = cluster.add_node(Device::de10());
+        let app_a = cluster
+            .node_mut(a)
+            .connect(counter_runtime("x"), DomainId(1), false);
+        let first = cluster.node_mut(a).deploy(app_a).unwrap();
+        let app_b = cluster
+            .node_mut(b)
+            .connect(counter_runtime("y"), DomainId(1), false);
+        let second = cluster.node_mut(b).deploy(app_b).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit, "bitstreams are shared across identical nodes");
+    }
+}

@@ -1,0 +1,702 @@
+//! The SYNERGY hypervisor (§4 of the paper).
+//!
+//! The hypervisor sits between runtime instances and the physical fabric. Each
+//! instance's compiler connects to the hypervisor, ships the source of its
+//! transformed sub-program, and receives an engine identifier; the hypervisor
+//! coalesces every connected sub-program into a single monolithic design, places it
+//! on the fabric through the AmorphOS hull, and schedules ABI requests. Destructive
+//! events (recompiling the combined program) go through the state-safe handshake of
+//! Figure 7: every connected instance saves its state between logical clock ticks
+//! before the device is reprogrammed and restores it afterwards.
+//!
+//! Spatial multiplexing falls out of coalescing; temporal multiplexing serialises
+//! instances that contend on a shared IO path (Figure 11); and co-tenancy can lower
+//! the shared global clock (Figure 12).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use synergy_amorphos::{DomainId, Hull, HullError, MorphletId, Quiescence};
+use synergy_fpga::{BitstreamCache, Device, Fabric, FabricError, SimClock, SynthOptions};
+use synergy_runtime::{RunReport, Runtime};
+use synergy_transform::transform;
+use synergy_vlog::VlogError;
+
+/// Identifier the hypervisor assigns to a connected application instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u64);
+
+/// Identifier for an engine placed on the fabric (step 3 of Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EngineId(pub u64);
+
+/// Errors raised by hypervisor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HvError {
+    /// The application id is not connected.
+    UnknownApp(u64),
+    /// The fabric rejected the placement.
+    Fabric(FabricError),
+    /// The protection layer rejected the operation.
+    Hull(HullError),
+    /// Compilation of the sub-program failed.
+    Compile(VlogError),
+    /// The application is not currently deployed to hardware.
+    NotDeployed(u64),
+}
+
+impl fmt::Display for HvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvError::UnknownApp(id) => write!(f, "unknown application {}", id),
+            HvError::Fabric(e) => write!(f, "fabric error: {}", e),
+            HvError::Hull(e) => write!(f, "protection error: {}", e),
+            HvError::Compile(e) => write!(f, "compilation error: {}", e),
+            HvError::NotDeployed(id) => write!(f, "application {} is not deployed", id),
+        }
+    }
+}
+
+impl std::error::Error for HvError {}
+
+impl From<FabricError> for HvError {
+    fn from(e: FabricError) -> Self {
+        HvError::Fabric(e)
+    }
+}
+
+impl From<HullError> for HvError {
+    fn from(e: HullError) -> Self {
+        HvError::Hull(e)
+    }
+}
+
+impl From<VlogError> for HvError {
+    fn from(e: VlogError) -> Self {
+        HvError::Compile(e)
+    }
+}
+
+/// An entry in the hypervisor's engine table (Figure 6).
+#[derive(Debug, Clone)]
+pub struct EngineEntry {
+    /// Engine identifier returned to the instance.
+    pub id: EngineId,
+    /// Owning application.
+    pub app: AppId,
+    /// Name of the generated module inside the monolithic program.
+    pub module_name: String,
+    /// Source text of the transformed sub-program.
+    pub source: String,
+    /// The Morphlet representing this engine inside the AmorphOS hull.
+    pub morphlet: MorphletId,
+}
+
+/// The result of deploying an application to the fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeployOutcome {
+    /// Engine identifier assigned by the hypervisor.
+    pub engine: u64,
+    /// Total simulated latency of the deployment (compile + handshake + reconfig +
+    /// state transfer) in nanoseconds.
+    pub latency_ns: u64,
+    /// Whether the bitstream came from the compilation cache.
+    pub cache_hit: bool,
+    /// The fabric's global clock after deployment.
+    pub global_clock_hz: u64,
+    /// Whether this deployment forced the global clock down (Figure 12).
+    pub clock_lowered: bool,
+}
+
+/// Per-application statistics for one scheduling round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// The application.
+    pub app: u64,
+    /// Whether the app actually executed this round (false when descheduled by
+    /// temporal multiplexing or already finished).
+    pub ran: bool,
+    /// Virtual clock ticks executed this round.
+    pub ticks: u64,
+    /// Task traps serviced this round.
+    pub tasks: u64,
+}
+
+struct AppSlot {
+    id: AppId,
+    runtime: Runtime,
+    domain: DomainId,
+    io_bound: bool,
+    engine: Option<EngineId>,
+}
+
+/// The SYNERGY hypervisor for one device.
+pub struct Hypervisor {
+    device: Device,
+    fabric: Fabric,
+    cache: BitstreamCache,
+    hull: Hull,
+    apps: BTreeMap<AppId, AppSlot>,
+    engines: BTreeMap<EngineId, EngineEntry>,
+    next_app: u64,
+    next_engine: u64,
+    clock: SimClock,
+    io_cursor: usize,
+    handshakes: u64,
+    round_tick_cap: u64,
+}
+
+impl Hypervisor {
+    /// Creates a hypervisor managing one device, with a fresh bitstream cache.
+    pub fn new(device: Device) -> Self {
+        Self::with_cache(device, BitstreamCache::new())
+    }
+
+    /// Creates a hypervisor that shares an existing bitstream cache (e.g. with
+    /// other hypervisors in a cluster).
+    pub fn with_cache(device: Device, cache: BitstreamCache) -> Self {
+        let fabric = Fabric::new(device.clone());
+        let hull = Hull::new(&device);
+        Hypervisor {
+            device,
+            fabric,
+            cache,
+            hull,
+            apps: BTreeMap::new(),
+            engines: BTreeMap::new(),
+            next_app: 1,
+            next_engine: 1,
+            clock: SimClock::new(),
+            io_cursor: 0,
+            handshakes: 0,
+            round_tick_cap: 100_000,
+        }
+    }
+
+    /// Caps how many virtual ticks one application may execute per scheduling
+    /// round. The cap bounds host-side simulation cost for very fast designs; an
+    /// application that hits it simply idles for the rest of the round.
+    pub fn set_round_tick_cap(&mut self, cap: u64) {
+        self.round_tick_cap = cap.max(1);
+    }
+
+    /// The device this hypervisor manages.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The shared bitstream cache.
+    pub fn cache(&self) -> &BitstreamCache {
+        &self.cache
+    }
+
+    /// Simulated wall-clock time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.clock.now_secs()
+    }
+
+    /// The fabric's current global clock in Hz.
+    pub fn global_clock_hz(&self) -> u64 {
+        self.fabric.global_clock_hz()
+    }
+
+    /// Number of state-safe handshakes performed (Figure 7).
+    pub fn handshakes(&self) -> u64 {
+        self.handshakes
+    }
+
+    /// Connects a runtime instance to the hypervisor (step 1 of Figure 6).
+    ///
+    /// `io_bound` marks streaming applications that contend on the off-device IO
+    /// path and are therefore subject to temporal multiplexing (Figure 11).
+    pub fn connect(&mut self, runtime: Runtime, domain: DomainId, io_bound: bool) -> AppId {
+        let id = AppId(self.next_app);
+        self.next_app += 1;
+        self.apps.insert(
+            id,
+            AppSlot {
+                id,
+                runtime,
+                domain,
+                io_bound,
+                engine: None,
+            },
+        );
+        id
+    }
+
+    /// Access to a connected application's runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::UnknownApp`] if the id is not connected.
+    pub fn app(&self, id: AppId) -> Result<&Runtime, HvError> {
+        self.apps
+            .get(&id)
+            .map(|s| &s.runtime)
+            .ok_or(HvError::UnknownApp(id.0))
+    }
+
+    /// Mutable access to a connected application's runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::UnknownApp`] if the id is not connected.
+    pub fn app_mut(&mut self, id: AppId) -> Result<&mut Runtime, HvError> {
+        self.apps
+            .get_mut(&id)
+            .map(|s| &mut s.runtime)
+            .ok_or(HvError::UnknownApp(id.0))
+    }
+
+    /// Ids of all connected applications.
+    pub fn apps(&self) -> Vec<AppId> {
+        self.apps.keys().copied().collect()
+    }
+
+    /// The coalesced monolithic program: every connected engine's sub-program text
+    /// concatenated, with requests routed by engine identifier (§4.1).
+    pub fn monolithic_source(&self) -> String {
+        let mut out = String::new();
+        for entry in self.engines.values() {
+            out.push_str(&format!(
+                "// engine {} (app {})\n",
+                entry.id.0, entry.app.0
+            ));
+            out.push_str(&entry.source);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deploys a connected application onto the fabric: transforms the program,
+    /// compiles it (through the cache), runs the state-safe handshake with the
+    /// other residents, reprograms the device, and migrates the instance's engine
+    /// from software to hardware (steps 2-5 of Figure 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the application is unknown, the transformation fails,
+    /// or the fabric cannot admit the design.
+    pub fn deploy(&mut self, id: AppId) -> Result<DeployOutcome, HvError> {
+        let slot = self.apps.get_mut(&id).ok_or(HvError::UnknownApp(id.0))?;
+        if slot.engine.is_some() {
+            // Already deployed; report the current state.
+            return Ok(DeployOutcome {
+                engine: slot.engine.unwrap().0,
+                latency_ns: 0,
+                cache_hit: true,
+                global_clock_hz: self.fabric.global_clock_hz(),
+                clock_lowered: false,
+            });
+        }
+
+        // The instance's compiler sends the sub-program to the hypervisor, which
+        // produces a target-specific engine (steps 1-2).
+        let transformed = transform(slot.runtime.design(), Default::default())?;
+        let synth_options = SynthOptions::synergy(
+            &self.device,
+            transformed.state.captured_bits() as u64,
+            transformed.state.vars.len() as u64,
+        );
+        let outcome = self.cache.compile(
+            &transformed.source,
+            &transformed.elab,
+            &self.device,
+            synth_options,
+        );
+
+        // Admission through the AmorphOS hull (protection + placement).
+        let morphlet = self.hull.register(
+            slot.domain,
+            slot.runtime.name().to_string(),
+            outcome.bitstream.report,
+            if transformed.state.uses_yield {
+                Quiescence::ApplicationManaged
+            } else {
+                Quiescence::Transparent
+            },
+        );
+
+        // Changing the monolithic program is destructive: run the handshake so
+        // every connected instance is between ticks with saved state (Figure 7).
+        let handshake_ns = self.state_safe_handshake(Some(id));
+
+        // Reprogram the fabric with the new coalesced design.
+        let engine_id = EngineId(self.next_engine);
+        self.next_engine += 1;
+        let engine_key = format!("engine_{}", engine_id.0);
+        let load = self
+            .fabric
+            .load(&engine_key, outcome.bitstream.clone())
+            .map_err(HvError::from)?;
+
+        // Migrate the application itself onto hardware.
+        let slot = self.apps.get_mut(&id).expect("slot exists");
+        let migrate_ns = slot
+            .runtime
+            .migrate_to_hardware(&self.device, &self.cache)
+            .map_err(HvError::Compile)?;
+        slot.engine = Some(engine_id);
+
+        self.engines.insert(
+            engine_id,
+            EngineEntry {
+                id: engine_id,
+                app: id,
+                module_name: transformed.module.name.clone(),
+                source: transformed.source.clone(),
+                morphlet,
+            },
+        );
+
+        // The shared clock may have dropped: propagate to every resident tenant.
+        let global = self.fabric.global_clock_hz();
+        for slot in self.apps.values_mut() {
+            if slot.engine.is_some() {
+                slot.runtime.set_clock_hz(global);
+            }
+        }
+
+        let latency_ns = outcome.latency_ns + handshake_ns + load.reconfig_latency_ns + migrate_ns;
+        self.clock.advance_ns(load.reconfig_latency_ns);
+        Ok(DeployOutcome {
+            engine: engine_id.0,
+            latency_ns,
+            cache_hit: outcome.cache_hit,
+            global_clock_hz: global,
+            clock_lowered: load.clock_lowered,
+        })
+    }
+
+    /// Removes an application's engine from the fabric (flag-for-removal semantics
+    /// of §4.1) and moves its execution back to software.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the application is unknown or not deployed.
+    pub fn undeploy(&mut self, id: AppId) -> Result<(), HvError> {
+        let slot = self.apps.get_mut(&id).ok_or(HvError::UnknownApp(id.0))?;
+        let engine = slot.engine.take().ok_or(HvError::NotDeployed(id.0))?;
+        slot.runtime.migrate_to_software();
+        if let Some(entry) = self.engines.remove(&engine) {
+            self.hull.retire(entry.morphlet)?;
+        }
+        self.fabric.unload(&format!("engine_{}", engine.0))?;
+        let global = self.fabric.global_clock_hz();
+        for slot in self.apps.values_mut() {
+            if slot.engine.is_some() {
+                slot.runtime.set_clock_hz(global);
+            }
+        }
+        Ok(())
+    }
+
+    /// Disconnects an application entirely, undeploying it first if necessary.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the application is unknown.
+    pub fn disconnect(&mut self, id: AppId) -> Result<Runtime, HvError> {
+        if self
+            .apps
+            .get(&id)
+            .ok_or(HvError::UnknownApp(id.0))?
+            .engine
+            .is_some()
+        {
+            self.undeploy(id)?;
+        }
+        let slot = self.apps.remove(&id).ok_or(HvError::UnknownApp(id.0))?;
+        Ok(slot.runtime)
+    }
+
+    /// Runs the Figure-7 handshake: every connected instance (other than the one
+    /// being deployed, which is still in software) schedules an interrupt between
+    /// logical clock ticks, saves its state, and blocks until reprogramming
+    /// finishes. Returns the simulated latency added to the deployment.
+    fn state_safe_handshake(&mut self, excluding: Option<AppId>) -> u64 {
+        let mut latency = 0u64;
+        let reconfig = self.device.reconfig_latency_ns;
+        let mut any = false;
+        for slot in self.apps.values_mut() {
+            if Some(slot.id) == excluding || slot.engine.is_none() {
+                continue;
+            }
+            any = true;
+            // Save state through get requests, stall for the reconfiguration, then
+            // restore through set requests.
+            let snapshot = slot.runtime.save("__handshake");
+            slot.runtime.idle_for_ns(reconfig);
+            slot.runtime.restore(&snapshot);
+        }
+        if any {
+            self.handshakes += 1;
+            latency += reconfig / 4;
+        }
+        latency
+    }
+
+    /// Runs one scheduling round of `dt` simulated seconds.
+    ///
+    /// Applications that share the off-device IO path (marked `io_bound` at connect
+    /// time) are time-slice scheduled round-robin when more than one of them is
+    /// deployed; everything else runs spatially in parallel. Returns per-app
+    /// statistics for the round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine evaluation errors.
+    pub fn run_round(&mut self, dt: f64) -> Result<Vec<RoundStats>, HvError> {
+        let dt_ns = (dt * 1e9) as u64;
+        // Which io-bound apps are deployed and still running?
+        let io_apps: Vec<AppId> = self
+            .apps
+            .values()
+            .filter(|s| s.io_bound && s.engine.is_some() && s.runtime.finished().is_none())
+            .map(|s| s.id)
+            .collect();
+        let io_pick = if io_apps.len() >= 2 {
+            let pick = io_apps[self.io_cursor % io_apps.len()];
+            self.io_cursor = (self.io_cursor + 1) % io_apps.len();
+            Some(pick)
+        } else {
+            None
+        };
+
+        let mut stats = Vec::new();
+        for slot in self.apps.values_mut() {
+            let descheduled = io_pick.is_some()
+                && slot.io_bound
+                && slot.engine.is_some()
+                && Some(slot.id) != io_pick;
+            if slot.runtime.finished().is_some() || descheduled {
+                slot.runtime.idle_for_ns(dt_ns);
+                stats.push(RoundStats {
+                    app: slot.id.0,
+                    ran: false,
+                    ticks: 0,
+                    tasks: 0,
+                });
+                continue;
+            }
+            let report =
+                run_for_ns(&mut slot.runtime, dt_ns, self.round_tick_cap).map_err(HvError::Compile)?;
+            if report.elapsed_ns < dt_ns {
+                slot.runtime.idle_for_ns(dt_ns - report.elapsed_ns);
+            }
+            stats.push(RoundStats {
+                app: slot.id.0,
+                ran: report.ticks > 0,
+                ticks: report.ticks,
+                tasks: report.tasks_handled,
+            });
+        }
+        self.clock.advance_ns(dt_ns);
+        Ok(stats)
+    }
+}
+
+/// Runs a runtime until roughly `dt_ns` of its simulated time has elapsed or the
+/// tick cap is reached (whichever comes first).
+fn run_for_ns(runtime: &mut Runtime, dt_ns: u64, tick_cap: u64) -> Result<RunReport, VlogError> {
+    let mut total = RunReport::default();
+    // Probe with a small batch to estimate per-tick cost, then run the rest.
+    let mut remaining = dt_ns;
+    let mut batch = 16u64;
+    while remaining > 0 && runtime.finished().is_none() && total.ticks < tick_cap {
+        let (report, _) = runtime.run_ticks(batch)?;
+        total.ticks += report.ticks;
+        total.native_cycles += report.native_cycles;
+        total.abi_requests += report.abi_requests;
+        total.tasks_handled += report.tasks_handled;
+        total.elapsed_ns += report.elapsed_ns;
+        if report.ticks == 0 || report.elapsed_ns == 0 {
+            break;
+        }
+        if report.elapsed_ns >= remaining {
+            break;
+        }
+        remaining -= report.elapsed_ns;
+        let per_tick = (report.elapsed_ns / report.ticks).max(1);
+        // Adaptive refinement: size the next hardware batch to fill the remaining
+        // quantum without overshooting too far (§6.2).
+        batch = (remaining / per_tick).clamp(1, 8192).min(tick_cap - total.ticks);
+    }
+    Ok(total)
+}
+
+impl fmt::Debug for Hypervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hypervisor")
+            .field("device", &self.device.name)
+            .field("apps", &self.apps.len())
+            .field("engines", &self.engines.len())
+            .field("global_clock_hz", &self.fabric.global_clock_hz())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = r#"
+        module Counter(input wire clock, output wire [31:0] out);
+            reg [31:0] count = 0;
+            always @(posedge clock) count <= count + 1;
+            assign out = count;
+        endmodule
+    "#;
+
+    const STREAMER: &str = r#"
+        module Stream(input wire clock, output wire [31:0] out);
+            integer fd = $fopen("stream.bin");
+            reg [31:0] r = 0;
+            reg [31:0] reads = 0;
+            always @(posedge clock) begin
+                $fread(fd, r);
+                if (!$feof(fd)) reads <= reads + 1;
+            end
+            assign out = reads;
+        endmodule
+    "#;
+
+    fn counter_runtime(name: &str) -> Runtime {
+        Runtime::new(name, COUNTER, "Counter", "clock").unwrap()
+    }
+
+    fn streamer_runtime(name: &str, items: u64) -> Runtime {
+        let mut rt = Runtime::new(name, STREAMER, "Stream", "clock").unwrap();
+        rt.add_file("stream.bin", (0..items).collect());
+        // Run a couple of software ticks so $fopen executes before migration.
+        rt.run_ticks(2).unwrap();
+        rt
+    }
+
+    use synergy_runtime::ExecMode;
+
+    #[test]
+    fn connect_and_deploy_single_app() {
+        let mut hv = Hypervisor::new(Device::f1());
+        let app = hv.connect(counter_runtime("counter"), DomainId(1), false);
+        let outcome = hv.deploy(app).unwrap();
+        assert!(outcome.latency_ns > 0);
+        assert!(!outcome.cache_hit);
+        assert_eq!(hv.app(app).unwrap().mode(), ExecMode::Hardware("f1".into()));
+        assert!(hv.monolithic_source().contains("Counter__synergy"));
+    }
+
+    #[test]
+    fn spatial_multiplexing_coalesces_programs() {
+        let mut hv = Hypervisor::new(Device::f1());
+        let a = hv.connect(counter_runtime("a"), DomainId(1), false);
+        let b = hv.connect(counter_runtime("b"), DomainId(2), false);
+        hv.deploy(a).unwrap();
+        hv.deploy(b).unwrap();
+        // Both engines are in the engine table and the combined program.
+        let mono = hv.monolithic_source();
+        assert_eq!(mono.matches("module Counter__synergy").count(), 2);
+        // Both make progress in the same round.
+        let stats = hv.run_round(0.0002).unwrap();
+        assert!(stats.iter().all(|s| s.ran));
+        assert!(hv.app(a).unwrap().get_bits("count").unwrap().to_u64() > 0);
+        assert!(hv.app(b).unwrap().get_bits("count").unwrap().to_u64() > 0);
+    }
+
+    #[test]
+    fn second_deploy_triggers_handshake() {
+        let mut hv = Hypervisor::new(Device::f1());
+        let a = hv.connect(counter_runtime("a"), DomainId(1), false);
+        let b = hv.connect(counter_runtime("b"), DomainId(2), false);
+        hv.deploy(a).unwrap();
+        assert_eq!(hv.handshakes(), 0, "no residents to quiesce yet");
+        hv.deploy(b).unwrap();
+        assert_eq!(hv.handshakes(), 1, "resident instance a must reach a safe state");
+    }
+
+    #[test]
+    fn deploying_same_app_twice_is_idempotent() {
+        let mut hv = Hypervisor::new(Device::f1());
+        let a = hv.connect(counter_runtime("a"), DomainId(1), false);
+        let first = hv.deploy(a).unwrap();
+        let second = hv.deploy(a).unwrap();
+        assert_eq!(first.engine, second.engine);
+        assert_eq!(second.latency_ns, 0);
+    }
+
+    #[test]
+    fn undeploy_returns_app_to_software_and_frees_fabric() {
+        let mut hv = Hypervisor::new(Device::f1());
+        let a = hv.connect(counter_runtime("a"), DomainId(1), false);
+        hv.deploy(a).unwrap();
+        hv.run_round(0.0002).unwrap();
+        let before = hv.app(a).unwrap().get_bits("count").unwrap().to_u64();
+        hv.undeploy(a).unwrap();
+        assert_eq!(hv.app(a).unwrap().mode(), ExecMode::Software);
+        // State survives the move back to software.
+        assert_eq!(hv.app(a).unwrap().get_bits("count").unwrap().to_u64(), before);
+        assert!(hv.monolithic_source().is_empty());
+        assert!(matches!(hv.undeploy(a), Err(HvError::NotDeployed(_))));
+    }
+
+    #[test]
+    fn temporal_multiplexing_deschedules_contending_streams() {
+        let mut hv = Hypervisor::new(Device::de10());
+        let a = hv.connect(streamer_runtime("regex", 1_000_000), DomainId(1), true);
+        let b = hv.connect(streamer_runtime("nw", 1_000_000), DomainId(2), true);
+        hv.deploy(a).unwrap();
+        hv.deploy(b).unwrap();
+        // With two IO-bound apps deployed, each round only one of them runs.
+        let r1 = hv.run_round(0.005).unwrap();
+        let ran1: Vec<u64> = r1.iter().filter(|s| s.ran).map(|s| s.app).collect();
+        let r2 = hv.run_round(0.005).unwrap();
+        let ran2: Vec<u64> = r2.iter().filter(|s| s.ran).map(|s| s.app).collect();
+        assert_eq!(ran1.len(), 1);
+        assert_eq!(ran2.len(), 1);
+        assert_ne!(ran1[0], ran2[0], "round-robin alternates the IO path");
+    }
+
+    #[test]
+    fn single_stream_is_not_descheduled() {
+        let mut hv = Hypervisor::new(Device::de10());
+        let a = hv.connect(streamer_runtime("regex", 100_000), DomainId(1), true);
+        hv.deploy(a).unwrap();
+        let stats = hv.run_round(0.005).unwrap();
+        assert!(stats[0].ran);
+    }
+
+    #[test]
+    fn disconnect_returns_the_runtime() {
+        let mut hv = Hypervisor::new(Device::f1());
+        let a = hv.connect(counter_runtime("a"), DomainId(1), false);
+        hv.deploy(a).unwrap();
+        let rt = hv.disconnect(a).unwrap();
+        assert_eq!(rt.name(), "a");
+        assert!(hv.apps().is_empty());
+        assert!(matches!(hv.app(a), Err(HvError::UnknownApp(_))));
+    }
+
+    #[test]
+    fn shared_cache_makes_second_hypervisor_deploy_fast() {
+        let cache = BitstreamCache::new();
+        let mut hv1 = Hypervisor::with_cache(Device::f1(), cache.clone());
+        let a = hv1.connect(counter_runtime("a"), DomainId(1), false);
+        let first = hv1.deploy(a).unwrap();
+
+        let mut hv2 = Hypervisor::with_cache(Device::f1(), cache);
+        let b = hv2.connect(counter_runtime("b"), DomainId(1), false);
+        let second = hv2.deploy(b).unwrap();
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert!(second.latency_ns < first.latency_ns);
+    }
+
+    #[test]
+    fn unknown_app_operations_error() {
+        let mut hv = Hypervisor::new(Device::f1());
+        assert!(matches!(hv.deploy(AppId(99)), Err(HvError::UnknownApp(99))));
+        assert!(matches!(hv.app(AppId(99)), Err(HvError::UnknownApp(99))));
+        assert!(matches!(hv.disconnect(AppId(99)), Err(HvError::UnknownApp(99))));
+    }
+}

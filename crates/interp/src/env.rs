@@ -1,0 +1,188 @@
+//! The system-task environment: how unsynthesizable Verilog reaches OS-managed
+//! resources.
+//!
+//! The paper's key point (§3) is that unsynthesizable constructs such as `$display`
+//! and file IO become *interfaces to OS-managed resources* once the compiler can
+//! yield control at sub-clock-tick granularity. In this reproduction the interpreter
+//! and the hardware engine both route those constructs through the [`SystemEnv`]
+//! trait; the runtime supplies an implementation backed by in-memory data streams
+//! and the hypervisor's IO path.
+
+use std::collections::HashMap;
+use synergy_vlog::Bits;
+
+/// Control-flow effects a system task can request from its caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskEffect {
+    /// Continue normal execution.
+    Continue,
+    /// `$finish(code)` was executed.
+    Finish(u32),
+    /// `$save("tag")` was executed — the caller should capture state.
+    Save(String),
+    /// `$restart("tag")` was executed — the caller should restore state.
+    Restart(String),
+    /// `$yield` was executed — the program is at an application-defined
+    /// quiescence point (§5.3).
+    Yield,
+}
+
+/// Host environment for unsynthesizable system tasks.
+///
+/// Implementations decide where `$display` output goes, what backs file
+/// descriptors, and how `$save`/`$restart`/`$yield` are surfaced to the runtime.
+pub trait SystemEnv {
+    /// Handles `$display`/`$write` output (the newline is already appended for
+    /// `$display`).
+    fn print(&mut self, text: &str);
+
+    /// Opens a file path and returns a descriptor.
+    fn fopen(&mut self, path: &str) -> u32;
+
+    /// Reads the next `width`-bit value from the descriptor. Returns `None` at
+    /// end-of-file.
+    fn fread(&mut self, fd: u32, width: usize) -> Option<Bits>;
+
+    /// End-of-file predicate for a descriptor.
+    fn feof(&mut self, fd: u32) -> bool;
+
+    /// Closes a descriptor.
+    fn fclose(&mut self, fd: u32);
+
+    /// Returns a pseudo-random 32-bit value (`$random`).
+    fn random(&mut self) -> u32;
+}
+
+/// A [`SystemEnv`] backed by in-memory buffers, suitable for tests and for the
+/// simulated data-center workloads used in the evaluation.
+#[derive(Debug, Default)]
+pub struct BufferEnv {
+    /// Captured `$display`/`$write` output.
+    pub output: Vec<String>,
+    files: HashMap<String, Vec<u64>>,
+    streams: HashMap<u32, FileStream>,
+    next_fd: u32,
+    rng_state: u64,
+    /// Total number of values served through `$fread`.
+    pub reads: u64,
+}
+
+#[derive(Debug)]
+struct FileStream {
+    data: Vec<u64>,
+    pos: usize,
+    /// Set after a read attempt fails, matching C/Verilog `feof` semantics: the
+    /// flag becomes true only once a read has gone past the end.
+    eof: bool,
+}
+
+impl BufferEnv {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        BufferEnv {
+            next_fd: 1,
+            rng_state: 0x9e3779b97f4a7c15,
+            ..Default::default()
+        }
+    }
+
+    /// Registers an in-memory "file" of 64-bit values that `$fopen` can open by
+    /// path.
+    pub fn add_file(&mut self, path: impl Into<String>, data: Vec<u64>) {
+        self.files.insert(path.into(), data);
+    }
+
+    /// All captured output joined into one string.
+    pub fn output_text(&self) -> String {
+        self.output.concat()
+    }
+}
+
+impl SystemEnv for BufferEnv {
+    fn print(&mut self, text: &str) {
+        self.output.push(text.to_string());
+    }
+
+    fn fopen(&mut self, path: &str) -> u32 {
+        let data = self.files.get(path).cloned().unwrap_or_default();
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.streams.insert(fd, FileStream { data, pos: 0, eof: false });
+        fd
+    }
+
+    fn fread(&mut self, fd: u32, width: usize) -> Option<Bits> {
+        let stream = self.streams.get_mut(&fd)?;
+        if stream.pos >= stream.data.len() {
+            stream.eof = true;
+            return None;
+        }
+        let v = stream.data[stream.pos];
+        stream.pos += 1;
+        self.reads += 1;
+        Some(Bits::from_u64(width.max(1), v))
+    }
+
+    fn feof(&mut self, fd: u32) -> bool {
+        self.streams.get(&fd).map(|s| s.eof).unwrap_or(true)
+    }
+
+    fn fclose(&mut self, fd: u32) {
+        self.streams.remove(&fd);
+    }
+
+    fn random(&mut self) -> u32 {
+        // xorshift64*; deterministic so experiments are reproducible.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 32) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fread_walks_registered_file() {
+        let mut env = BufferEnv::new();
+        env.add_file("data", vec![1, 2, 3]);
+        let fd = env.fopen("data");
+        assert!(!env.feof(fd));
+        assert_eq!(env.fread(fd, 32).unwrap().to_u64(), 1);
+        assert_eq!(env.fread(fd, 32).unwrap().to_u64(), 2);
+        assert_eq!(env.fread(fd, 32).unwrap().to_u64(), 3);
+        // As with C's feof, the flag is only raised once a read fails.
+        assert!(!env.feof(fd));
+        assert!(env.fread(fd, 32).is_none());
+        assert!(env.feof(fd));
+        assert_eq!(env.reads, 3);
+    }
+
+    #[test]
+    fn unknown_path_opens_empty_file() {
+        let mut env = BufferEnv::new();
+        let fd = env.fopen("missing");
+        assert!(env.fread(fd, 32).is_none());
+        assert!(env.feof(fd));
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let mut a = BufferEnv::new();
+        let mut b = BufferEnv::new();
+        assert_eq!(a.random(), b.random());
+        assert_ne!(a.random(), a.random());
+    }
+
+    #[test]
+    fn print_captures_output() {
+        let mut env = BufferEnv::new();
+        env.print("hello ");
+        env.print("world");
+        assert_eq!(env.output_text(), "hello world");
+    }
+}

@@ -1,0 +1,913 @@
+//! The reference event-driven interpreter for elaborated designs.
+//!
+//! This is the "software engine" of the Cascade/SYNERGY runtime (§2.1 of the
+//! paper): it executes an [`ElabModule`] according to Verilog's scheduling
+//! semantics — continuous assignments re-evaluate when their inputs change,
+//! procedural blocks run when their guards fire, blocking assignments are visible
+//! immediately, and non-blocking assignments latch at the update step. System tasks
+//! execute inline against a [`SystemEnv`], which is exactly what makes the software
+//! engine able to run the full unsynthesizable language.
+
+use crate::env::{SystemEnv, TaskEffect};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use synergy_vlog::ast::*;
+use synergy_vlog::elaborate::ElabModule;
+use synergy_vlog::{Bits, VlogError, VlogResult};
+
+/// Upper bound on combinational-propagation iterations before declaring a loop.
+const MAX_PROPAGATION_ITERS: usize = 10_000;
+/// Upper bound on procedural loop iterations (`for`/`repeat`).
+const MAX_LOOP_ITERS: u64 = 10_000_000;
+
+/// A no-op environment used where system tasks cannot occur (guard expressions,
+/// post-restore wire propagation).
+struct NullEnv;
+
+impl SystemEnv for NullEnv {
+    fn print(&mut self, _text: &str) {}
+    fn fopen(&mut self, _path: &str) -> u32 {
+        0
+    }
+    fn fread(&mut self, _fd: u32, _width: usize) -> Option<Bits> {
+        None
+    }
+    fn feof(&mut self, _fd: u32) -> bool {
+        true
+    }
+    fn fclose(&mut self, _fd: u32) {}
+    fn random(&mut self) -> u32 {
+        0
+    }
+}
+
+/// A snapshot of a program's architectural state, as captured by `$save` or the
+/// runtime's `get` requests (§3.5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct StateSnapshot {
+    /// Values of every register and memory, keyed by flattened variable name.
+    pub values: BTreeMap<String, Value>,
+    /// Simulation time at capture.
+    pub time: u64,
+}
+
+impl StateSnapshot {
+    /// Total number of state bits captured.
+    pub fn total_bits(&self) -> usize {
+        self.values.values().map(Value::state_bits).sum()
+    }
+}
+
+/// The event-driven interpreter.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    module: ElabModule,
+    values: BTreeMap<String, Value>,
+    /// Previous values of each always-block guard expression, for edge detection.
+    guard_prev: Vec<Vec<Bits>>,
+    /// Sensitivity lists for `@*` blocks (identifiers read by the body).
+    star_sensitivity: Vec<Vec<String>>,
+    nonblocking: Vec<(LValue, Bits)>,
+    effects: Vec<TaskEffect>,
+    time: u64,
+    finished: Option<u32>,
+    initials_run: bool,
+}
+
+impl Interpreter {
+    /// Creates an interpreter over an elaborated module with all registers at their
+    /// declared initial values.
+    pub fn new(module: ElabModule) -> Self {
+        let mut values = BTreeMap::new();
+        for (name, var) in &module.vars {
+            let v = match var.depth {
+                Some(depth) => Value::memory(var.width, depth),
+                None => match &var.init {
+                    Some(b) => Value::Scalar(b.resize(var.width)),
+                    None => Value::scalar(var.width),
+                },
+            };
+            values.insert(name.clone(), v);
+        }
+        let guard_prev = module
+            .always
+            .iter()
+            .map(|b| b.events.iter().map(|_| Bits::zero(1)).collect())
+            .collect();
+        let star_sensitivity = module
+            .always
+            .iter()
+            .map(|b| {
+                if b.events.is_empty() {
+                    stmt_reads(&b.body)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        Interpreter {
+            module,
+            values,
+            guard_prev,
+            star_sensitivity,
+            nonblocking: Vec::new(),
+            effects: Vec::new(),
+            time: 0,
+            finished: None,
+            initials_run: false,
+        }
+    }
+
+    /// The elaborated module being executed.
+    pub fn module(&self) -> &ElabModule {
+        &self.module
+    }
+
+    /// Current simulation time (incremented by [`Interpreter::tick`]).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// The exit code passed to `$finish`, if the program has finished.
+    pub fn finished(&self) -> Option<u32> {
+        self.finished
+    }
+
+    /// Drains the control-flow effects produced by system tasks since the last call.
+    pub fn take_effects(&mut self) -> Vec<TaskEffect> {
+        std::mem::take(&mut self.effects)
+    }
+
+    /// Reads a variable's current value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variable does not exist.
+    pub fn get(&self, name: &str) -> VlogResult<&Value> {
+        self.values
+            .get(name)
+            .ok_or_else(|| VlogError::Elaborate(format!("no such variable '{}'", name)))
+    }
+
+    /// Reads a scalar variable as `Bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variable does not exist.
+    pub fn get_bits(&self, name: &str) -> VlogResult<Bits> {
+        Ok(self.get(name)?.as_scalar().clone())
+    }
+
+    /// Writes a variable (an input port, or any register during state restore).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variable does not exist.
+    pub fn set(&mut self, name: &str, value: Bits) -> VlogResult<()> {
+        let width = self.module.width_of_var(name);
+        match self.values.get_mut(name) {
+            Some(Value::Scalar(b)) => {
+                *b = value.resize(width);
+                Ok(())
+            }
+            Some(Value::Memory(_)) => Err(VlogError::Elaborate(format!(
+                "cannot scalar-assign memory '{}'",
+                name
+            ))),
+            None => Err(VlogError::Elaborate(format!("no such variable '{}'", name))),
+        }
+    }
+
+    /// Replaces a whole value (scalar or memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variable does not exist.
+    pub fn set_value(&mut self, name: &str, value: Value) -> VlogResult<()> {
+        match self.values.get_mut(name) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(VlogError::Elaborate(format!("no such variable '{}'", name))),
+        }
+    }
+
+    /// Captures the architectural state (registers and memories) of the program.
+    pub fn save_state(&self) -> StateSnapshot {
+        let mut values = BTreeMap::new();
+        for (name, var) in &self.module.vars {
+            if var.is_register() {
+                values.insert(name.clone(), self.values[name].clone());
+            }
+        }
+        StateSnapshot {
+            values,
+            time: self.time,
+        }
+    }
+
+    /// Restores a previously captured state snapshot.
+    ///
+    /// Variables present in the snapshot but not the design are ignored, which
+    /// allows migration between engines compiled from the same source. Continuous
+    /// assignments are re-propagated so outputs immediately reflect the restored
+    /// registers.
+    pub fn restore_state(&mut self, snapshot: &StateSnapshot) {
+        for (name, value) in &snapshot.values {
+            if self.values.contains_key(name) {
+                self.values.insert(name.clone(), value.clone());
+            }
+        }
+        self.time = snapshot.time;
+        let _ = self.propagate_assigns(&mut NullEnv);
+    }
+
+    /// `true` if non-blocking assignments are waiting to be latched.
+    pub fn there_are_updates(&self) -> bool {
+        !self.nonblocking.is_empty()
+    }
+
+    /// Runs `initial` blocks if they have not run yet. Called automatically by
+    /// [`Interpreter::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from the initial blocks.
+    pub fn run_initials(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        if self.initials_run {
+            return Ok(());
+        }
+        self.initials_run = true;
+        let initials = self.module.initials.clone();
+        for stmt in &initials {
+            self.exec_stmt(stmt, env)?;
+        }
+        Ok(())
+    }
+
+    /// Runs evaluation events until the program reaches a fixed point: continuous
+    /// assignments are propagated and triggered `always` blocks execute.
+    ///
+    /// This corresponds to the `evaluate` ABI request (§2.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on combinational loops or malformed programs.
+    pub fn evaluate(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        self.run_initials(env)?;
+        let mut iterations = 0usize;
+        loop {
+            self.propagate_assigns(env)?;
+            let triggered = self.triggered_blocks();
+            if triggered.is_empty() {
+                return Ok(());
+            }
+            for idx in triggered {
+                if self.finished.is_some() {
+                    return Ok(());
+                }
+                let body = self.module.always[idx].body.clone();
+                self.exec_stmt(&body, env)?;
+                self.propagate_assigns(env)?;
+            }
+            iterations += 1;
+            if iterations > MAX_PROPAGATION_ITERS {
+                return Err(VlogError::Elaborate(
+                    "always blocks did not stabilise (oscillating design?)".into(),
+                ));
+            }
+        }
+    }
+
+    /// Latches all pending non-blocking assignments.
+    ///
+    /// This corresponds to the `update` ABI request (§2.1). Returns `true` if any
+    /// value changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an assignment target is malformed.
+    pub fn update(&mut self, env: &mut dyn SystemEnv) -> VlogResult<bool> {
+        if self.nonblocking.is_empty() {
+            return Ok(false);
+        }
+        let pending = std::mem::take(&mut self.nonblocking);
+        for (lhs, value) in pending {
+            self.assign_lvalue(&lhs, value, env)?;
+        }
+        Ok(true)
+    }
+
+    /// Runs evaluate/update until no more updates are pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Interpreter::evaluate`] and [`Interpreter::update`].
+    pub fn settle(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        loop {
+            self.evaluate(env)?;
+            if !self.update(env)? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Advances one full virtual clock cycle on the named clock input: drives it
+    /// high, settles, drives it low, settles, and increments simulation time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the clock variable does not exist or evaluation fails.
+    pub fn tick(&mut self, clock: &str, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        self.set(clock, Bits::from_u64(1, 1))?;
+        self.settle(env)?;
+        self.set(clock, Bits::from_u64(1, 0))?;
+        self.settle(env)?;
+        self.time += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------ internals
+
+    /// Re-evaluates continuous assignments until no wire changes value.
+    fn propagate_assigns(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        let assigns = self.module.assigns.clone();
+        for iter in 0.. {
+            if iter > MAX_PROPAGATION_ITERS {
+                return Err(VlogError::Elaborate(
+                    "combinational loop detected in continuous assignments".into(),
+                ));
+            }
+            let mut changed = false;
+            for a in &assigns {
+                let value = self.eval_expr(&a.rhs, env)?;
+                changed |= self.assign_lvalue_check_changed(&a.lhs, value, env)?;
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Determines which always blocks fire, updating the stored previous guard
+    /// values as a side effect.
+    fn triggered_blocks(&mut self) -> Vec<usize> {
+        let mut triggered = Vec::new();
+        for (idx, block) in self.module.always.iter().enumerate() {
+            if block.events.is_empty() {
+                // `always @*`: fire when any identifier read by the body changed.
+                let current: Vec<Bits> = self.star_sensitivity[idx]
+                    .iter()
+                    .map(|n| {
+                        self.values
+                            .get(n)
+                            .map(|v| v.as_scalar().clone())
+                            .unwrap_or_default()
+                    })
+                    .collect();
+                if self.guard_prev[idx].len() != current.len() {
+                    self.guard_prev[idx] = vec![Bits::zero(1); current.len()];
+                }
+                let fired = self.guard_prev[idx]
+                    .iter()
+                    .zip(current.iter())
+                    .any(|(p, c)| p != c);
+                self.guard_prev[idx] = current;
+                if fired {
+                    triggered.push(idx);
+                }
+                continue;
+            }
+            let mut fired = false;
+            let mut new_prev = Vec::with_capacity(block.events.len());
+            for (eidx, event) in block.events.iter().enumerate() {
+                let current = self
+                    .eval_expr_pure(&event.expr)
+                    .unwrap_or_else(|_| Bits::zero(1));
+                let prev = &self.guard_prev[idx][eidx];
+                let f = match event.edge {
+                    Edge::Pos => !prev.bit(0) && current.bit(0),
+                    Edge::Neg => prev.bit(0) && !current.bit(0),
+                    Edge::Any => prev != &current,
+                };
+                fired |= f;
+                new_prev.push(current);
+            }
+            self.guard_prev[idx] = new_prev;
+            if fired {
+                triggered.push(idx);
+            }
+        }
+        triggered
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        if self.finished.is_some() {
+            return Ok(());
+        }
+        match stmt {
+            Stmt::Block(stmts) | Stmt::Fork(stmts) => {
+                // fork/join is executed sequentially: a valid scheduling (§3.2).
+                for s in stmts {
+                    self.exec_stmt(s, env)?;
+                }
+                Ok(())
+            }
+            Stmt::Blocking(a) => {
+                let value = self.eval_expr(&a.rhs, env)?;
+                self.assign_lvalue(&a.lhs, value, env)?;
+                Ok(())
+            }
+            Stmt::NonBlocking(a) => {
+                let value = self.eval_expr(&a.rhs, env)?;
+                self.nonblocking.push((a.lhs.clone(), value));
+                Ok(())
+            }
+            Stmt::If { cond, then, other } => {
+                if self.eval_expr(cond, env)?.to_bool() {
+                    self.exec_stmt(then, env)
+                } else if let Some(e) = other {
+                    self.exec_stmt(e, env)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Case {
+                expr,
+                arms,
+                default,
+            } => {
+                let scrutinee = self.eval_expr(expr, env)?;
+                for arm in arms {
+                    for label in &arm.labels {
+                        let lv = self.eval_expr(label, env)?;
+                        if lv.ucmp(&scrutinee) == std::cmp::Ordering::Equal {
+                            return self.exec_stmt(&arm.body, env);
+                        }
+                    }
+                }
+                if let Some(d) = default {
+                    self.exec_stmt(d, env)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let v = self.eval_expr(&init.rhs, env)?;
+                self.assign_lvalue(&init.lhs, v, env)?;
+                let mut iters = 0u64;
+                while self.eval_expr(cond, env)?.to_bool() {
+                    self.exec_stmt(body, env)?;
+                    let v = self.eval_expr(&step.rhs, env)?;
+                    self.assign_lvalue(&step.lhs, v, env)?;
+                    iters += 1;
+                    if iters > MAX_LOOP_ITERS {
+                        return Err(VlogError::Elaborate("for loop exceeded iteration cap".into()));
+                    }
+                    if self.finished.is_some() {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Repeat { count, body } => {
+                let n = self.eval_expr(count, env)?.to_u64();
+                for _ in 0..n.min(MAX_LOOP_ITERS) {
+                    self.exec_stmt(body, env)?;
+                    if self.finished.is_some() {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::SystemTask(task) => self.exec_task(task, env),
+            Stmt::Null => Ok(()),
+        }
+    }
+
+    fn exec_task(&mut self, task: &SystemTask, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        match task.kind {
+            TaskKind::Display | TaskKind::Write => {
+                let mut text = String::new();
+                for arg in &task.args {
+                    match arg {
+                        Expr::StringLit(s) => text.push_str(s),
+                        other => {
+                            let v = self.eval_expr(other, env)?;
+                            text.push_str(&v.to_dec_string());
+                        }
+                    }
+                }
+                if task.kind == TaskKind::Display {
+                    text.push('\n');
+                }
+                env.print(&text);
+                Ok(())
+            }
+            TaskKind::Finish => {
+                let code = match task.args.first() {
+                    Some(e) => self.eval_expr(e, env)?.to_u64() as u32,
+                    None => 0,
+                };
+                self.finished = Some(code);
+                self.effects.push(TaskEffect::Finish(code));
+                Ok(())
+            }
+            TaskKind::Fclose => {
+                if let Some(e) = task.args.first() {
+                    let fd = self.eval_expr(e, env)?.to_u64() as u32;
+                    env.fclose(fd);
+                }
+                Ok(())
+            }
+            TaskKind::Fread => {
+                let (fd_expr, target) = match (task.args.first(), task.args.get(1)) {
+                    (Some(fd), Some(target)) => (fd, target),
+                    _ => {
+                        return Err(VlogError::Elaborate(
+                            "$fread requires a descriptor and a target".into(),
+                        ))
+                    }
+                };
+                let fd = self.eval_expr(fd_expr, env)?.to_u64() as u32;
+                let lhs = expr_to_lvalue(target)?;
+                let width = self.lvalue_width(&lhs);
+                if let Some(v) = env.fread(fd, width) {
+                    self.assign_lvalue(&lhs, v, env)?;
+                }
+                Ok(())
+            }
+            TaskKind::Save => {
+                let tag = string_arg(task.args.first());
+                self.effects.push(TaskEffect::Save(tag));
+                Ok(())
+            }
+            TaskKind::Restart => {
+                let tag = string_arg(task.args.first());
+                self.effects.push(TaskEffect::Restart(tag));
+                Ok(())
+            }
+            TaskKind::Yield => {
+                self.effects.push(TaskEffect::Yield);
+                Ok(())
+            }
+            // Function-style tasks used in statement position are evaluated for
+            // their side effects.
+            TaskKind::Fopen | TaskKind::Feof | TaskKind::Time | TaskKind::Random => {
+                let call = Expr::SystemCall(task.kind, task.args.clone());
+                let _ = self.eval_expr(&call, env)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn lvalue_width(&self, lv: &LValue) -> usize {
+        match lv {
+            LValue::Ident(n) => self.module.width_of_var(n),
+            LValue::Index(n, _) => {
+                let var = self.module.var(n);
+                match var {
+                    Some(v) if v.depth.is_some() => v.width,
+                    _ => 1,
+                }
+            }
+            LValue::Slice(_, hi, lo) => {
+                let hi = synergy_vlog::parser::const_eval(hi, &|_| None)
+                    .map(|b| b.to_u64())
+                    .unwrap_or(0);
+                let lo = synergy_vlog::parser::const_eval(lo, &|_| None)
+                    .map(|b| b.to_u64())
+                    .unwrap_or(0);
+                (hi.saturating_sub(lo) as usize) + 1
+            }
+            LValue::Concat(parts) => parts.iter().map(|p| self.lvalue_width(p)).sum(),
+        }
+    }
+
+    fn assign_lvalue(
+        &mut self,
+        lv: &LValue,
+        value: Bits,
+        env: &mut dyn SystemEnv,
+    ) -> VlogResult<()> {
+        self.assign_lvalue_check_changed(lv, value, env)?;
+        Ok(())
+    }
+
+    fn assign_lvalue_check_changed(
+        &mut self,
+        lv: &LValue,
+        value: Bits,
+        env: &mut dyn SystemEnv,
+    ) -> VlogResult<bool> {
+        match lv {
+            LValue::Ident(name) => {
+                let width = self.module.width_of_var(name);
+                let new = value.resize(width);
+                match self.values.get_mut(name) {
+                    Some(Value::Scalar(b)) => {
+                        if *b != new {
+                            *b = new;
+                            Ok(true)
+                        } else {
+                            Ok(false)
+                        }
+                    }
+                    Some(Value::Memory(_)) => Err(VlogError::Elaborate(format!(
+                        "cannot assign whole memory '{}'",
+                        name
+                    ))),
+                    None => Err(VlogError::Elaborate(format!("no such variable '{}'", name))),
+                }
+            }
+            LValue::Index(name, idx) => {
+                let idx = self.eval_expr(idx, env)?.to_u64() as usize;
+                let is_memory = self
+                    .module
+                    .var(name)
+                    .map(|v| v.depth.is_some())
+                    .unwrap_or(false);
+                let elem_width = self.module.width_of_var(name);
+                match self.values.get_mut(name) {
+                    Some(Value::Memory(mem)) => {
+                        if idx >= mem.len() {
+                            return Ok(false);
+                        }
+                        let new = value.resize(elem_width);
+                        if mem[idx] != new {
+                            mem[idx] = new;
+                            Ok(true)
+                        } else {
+                            Ok(false)
+                        }
+                    }
+                    Some(Value::Scalar(b)) => {
+                        let _ = is_memory;
+                        if idx >= b.width() {
+                            return Ok(false);
+                        }
+                        let old = b.bit(idx);
+                        let new = value.bit(0);
+                        b.set_bit(idx, new);
+                        Ok(old != new)
+                    }
+                    None => Err(VlogError::Elaborate(format!("no such variable '{}'", name))),
+                }
+            }
+            LValue::Slice(name, hi, lo) => {
+                let hi = self.eval_expr(hi, env)?.to_u64() as usize;
+                let lo = self.eval_expr(lo, env)?.to_u64() as usize;
+                match self.values.get_mut(name) {
+                    Some(Value::Scalar(b)) => {
+                        let old = b.clone();
+                        b.set_slice(hi.max(lo), hi.min(lo), &value);
+                        Ok(*b != old)
+                    }
+                    Some(Value::Memory(_)) => Err(VlogError::Elaborate(format!(
+                        "part select on memory '{}' is not supported",
+                        name
+                    ))),
+                    None => Err(VlogError::Elaborate(format!("no such variable '{}'", name))),
+                }
+            }
+            LValue::Concat(parts) => {
+                // `{a, b} = rhs` assigns the high bits of rhs to `a`.
+                let total: usize = parts.iter().map(|p| self.lvalue_width(p)).sum();
+                let value = value.resize(total);
+                let mut offset = total;
+                let mut changed = false;
+                for part in parts {
+                    let w = self.lvalue_width(part);
+                    offset -= w;
+                    let piece = value.slice(offset + w - 1, offset);
+                    changed |= self.assign_lvalue_check_changed(part, piece, env)?;
+                }
+                Ok(changed)
+            }
+        }
+    }
+
+    /// Evaluates an expression without access to the system environment (guards).
+    fn eval_expr_pure(&self, expr: &Expr) -> VlogResult<Bits> {
+        // Guard expressions are always side-effect free identifiers in practice.
+        self.eval_expr_inner(expr, &mut NullEnv)
+    }
+
+    /// Evaluates an expression, executing system functions against `env`.
+    pub fn eval_expr(&self, expr: &Expr, env: &mut dyn SystemEnv) -> VlogResult<Bits> {
+        self.eval_expr_inner(expr, env)
+    }
+
+    fn eval_expr_inner(&self, expr: &Expr, env: &mut dyn SystemEnv) -> VlogResult<Bits> {
+        match expr {
+            Expr::Literal(b) => Ok(b.clone()),
+            Expr::StringLit(s) => {
+                // Strings evaluate to their packed ASCII value (rarely used).
+                let mut b = Bits::zero((s.len() * 8).max(1));
+                for (i, byte) in s.bytes().rev().enumerate() {
+                    for bit in 0..8 {
+                        b.set_bit(i * 8 + bit, (byte >> bit) & 1 == 1);
+                    }
+                }
+                Ok(b)
+            }
+            Expr::Ident(name) => match self.values.get(name) {
+                Some(v) => Ok(v.as_scalar().clone()),
+                None => Err(VlogError::Elaborate(format!("no such variable '{}'", name))),
+            },
+            Expr::Index(base, idx) => {
+                let idx_v = self.eval_expr_inner(idx, env)?.to_u64() as usize;
+                if let Expr::Ident(name) = base.as_ref() {
+                    if let Some(Value::Memory(mem)) = self.values.get(name) {
+                        return Ok(mem.get(idx_v).cloned().unwrap_or_else(|| {
+                            Bits::zero(self.module.width_of_var(name))
+                        }));
+                    }
+                }
+                let base_v = self.eval_expr_inner(base, env)?;
+                Ok(Bits::from_bool(base_v.bit(idx_v)))
+            }
+            Expr::Slice(base, hi, lo) => {
+                let base_v = self.eval_expr_inner(base, env)?;
+                let hi = self.eval_expr_inner(hi, env)?.to_u64() as usize;
+                let lo = self.eval_expr_inner(lo, env)?.to_u64() as usize;
+                Ok(base_v.slice(hi.max(lo), hi.min(lo)))
+            }
+            Expr::Unary(op, a) => {
+                let a = self.eval_expr_inner(a, env)?;
+                Ok(match op {
+                    UnaryOp::Not => a.not(),
+                    UnaryOp::LogicalNot => Bits::from_bool(!a.to_bool()),
+                    UnaryOp::Neg => a.neg(),
+                    UnaryOp::Plus => a,
+                    UnaryOp::ReduceAnd => Bits::from_bool(a.reduce_and()),
+                    UnaryOp::ReduceOr => Bits::from_bool(a.reduce_or()),
+                    UnaryOp::ReduceXor => Bits::from_bool(a.reduce_xor()),
+                })
+            }
+            Expr::Binary(op, a, b) => {
+                let a = self.eval_expr_inner(a, env)?;
+                let b = self.eval_expr_inner(b, env)?;
+                Ok(apply_binary(*op, &a, &b))
+            }
+            Expr::Ternary(c, a, b) => {
+                if self.eval_expr_inner(c, env)?.to_bool() {
+                    self.eval_expr_inner(a, env)
+                } else {
+                    self.eval_expr_inner(b, env)
+                }
+            }
+            Expr::Concat(parts) => {
+                let mut acc: Option<Bits> = None;
+                for p in parts {
+                    let v = self.eval_expr_inner(p, env)?;
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => a.concat(&v),
+                    });
+                }
+                Ok(acc.unwrap_or_default())
+            }
+            Expr::Replicate(n, e) => {
+                let n = self.eval_expr_inner(n, env)?.to_u64() as usize;
+                let v = self.eval_expr_inner(e, env)?;
+                Ok(v.replicate(n))
+            }
+            Expr::SystemCall(kind, args) => match kind {
+                TaskKind::Fopen => {
+                    let path = match args.first() {
+                        Some(Expr::StringLit(s)) => s.clone(),
+                        _ => String::new(),
+                    };
+                    Ok(Bits::from_u64(32, env.fopen(&path) as u64))
+                }
+                TaskKind::Feof => {
+                    let fd = match args.first() {
+                        Some(e) => self.eval_expr_inner(e, env)?.to_u64() as u32,
+                        None => 0,
+                    };
+                    Ok(Bits::from_bool(env.feof(fd)))
+                }
+                TaskKind::Time => Ok(Bits::from_u64(64, self.time)),
+                TaskKind::Random => Ok(Bits::from_u64(32, env.random() as u64)),
+                other => Err(VlogError::Unsupported(format!(
+                    "system task {} cannot be used in an expression",
+                    other
+                ))),
+            },
+        }
+    }
+}
+
+/// Applies a binary operator to two values.
+pub fn apply_binary(op: BinaryOp, a: &Bits, b: &Bits) -> Bits {
+    use std::cmp::Ordering;
+    match op {
+        BinaryOp::Add => a.add(b),
+        BinaryOp::Sub => a.sub(b),
+        BinaryOp::Mul => a.mul(b),
+        BinaryOp::Div => a.div(b),
+        BinaryOp::Rem => a.rem(b),
+        BinaryOp::And => a.and(b),
+        BinaryOp::Or => a.or(b),
+        BinaryOp::Xor => a.xor(b),
+        BinaryOp::Shl => a.shl(b.to_u64().min(1 << 20) as usize),
+        BinaryOp::Shr => a.shr(b.to_u64().min(1 << 20) as usize),
+        BinaryOp::AShr => a.ashr(b.to_u64().min(1 << 20) as usize),
+        BinaryOp::LogicalAnd => Bits::from_bool(a.to_bool() && b.to_bool()),
+        BinaryOp::LogicalOr => Bits::from_bool(a.to_bool() || b.to_bool()),
+        BinaryOp::Eq => Bits::from_bool(a.ucmp(b) == Ordering::Equal),
+        BinaryOp::Ne => Bits::from_bool(a.ucmp(b) != Ordering::Equal),
+        BinaryOp::Lt => Bits::from_bool(a.ucmp(b) == Ordering::Less),
+        BinaryOp::Le => Bits::from_bool(a.ucmp(b) != Ordering::Greater),
+        BinaryOp::Gt => Bits::from_bool(a.ucmp(b) == Ordering::Greater),
+        BinaryOp::Ge => Bits::from_bool(a.ucmp(b) != Ordering::Less),
+    }
+}
+
+/// Converts an expression used as a `$fread` target into an lvalue.
+fn expr_to_lvalue(expr: &Expr) -> VlogResult<LValue> {
+    match expr {
+        Expr::Ident(n) => Ok(LValue::Ident(n.clone())),
+        Expr::Index(base, idx) => match base.as_ref() {
+            Expr::Ident(n) => Ok(LValue::Index(n.clone(), (**idx).clone())),
+            _ => Err(VlogError::Unsupported("complex $fread target".into())),
+        },
+        _ => Err(VlogError::Unsupported(
+            "$fread target must be a variable or memory element".into(),
+        )),
+    }
+}
+
+fn string_arg(arg: Option<&Expr>) -> String {
+    match arg {
+        Some(Expr::StringLit(s)) => s.clone(),
+        _ => String::new(),
+    }
+}
+
+/// Identifiers read by a statement (used for `always @*` sensitivity).
+fn stmt_reads(stmt: &Stmt) -> Vec<String> {
+    fn visit(stmt: &Stmt, out: &mut Vec<String>) {
+        let add_expr = |e: &Expr, out: &mut Vec<String>| {
+            for id in e.idents() {
+                if !out.iter().any(|x| x == id) {
+                    out.push(id.to_string());
+                }
+            }
+        };
+        match stmt {
+            Stmt::Block(v) | Stmt::Fork(v) => v.iter().for_each(|s| visit(s, out)),
+            Stmt::Blocking(a) | Stmt::NonBlocking(a) => add_expr(&a.rhs, out),
+            Stmt::If { cond, then, other } => {
+                add_expr(cond, out);
+                visit(then, out);
+                if let Some(e) = other {
+                    visit(e, out);
+                }
+            }
+            Stmt::Case {
+                expr,
+                arms,
+                default,
+            } => {
+                add_expr(expr, out);
+                for arm in arms {
+                    arm.labels.iter().for_each(|l| add_expr(l, out));
+                    visit(&arm.body, out);
+                }
+                if let Some(d) = default {
+                    visit(d, out);
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                add_expr(&init.rhs, out);
+                add_expr(cond, out);
+                add_expr(&step.rhs, out);
+                visit(body, out);
+            }
+            Stmt::Repeat { count, body } => {
+                add_expr(count, out);
+                visit(body, out);
+            }
+            Stmt::SystemTask(t) => t.args.iter().for_each(|a| add_expr(a, out)),
+            Stmt::Null => {}
+        }
+    }
+    let mut out = Vec::new();
+    visit(stmt, &mut out);
+    out
+}

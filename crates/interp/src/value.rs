@@ -1,0 +1,71 @@
+//! Runtime values held by the interpreter: scalars and 1-D memories.
+
+use serde::{Deserialize, Serialize};
+use synergy_vlog::Bits;
+
+/// A runtime value: either a scalar packed vector or a 1-D memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A scalar variable of fixed width.
+    Scalar(Bits),
+    /// A memory of `depth` elements, each of the element width.
+    Memory(Vec<Bits>),
+}
+
+impl Value {
+    /// Creates a zeroed scalar of the given width.
+    pub fn scalar(width: usize) -> Value {
+        Value::Scalar(Bits::zero(width))
+    }
+
+    /// Creates a zeroed memory of `depth` elements of `width` bits.
+    pub fn memory(width: usize, depth: usize) -> Value {
+        Value::Memory(vec![Bits::zero(width); depth])
+    }
+
+    /// Reads the scalar value; memory values read as their element 0 (used only by
+    /// diagnostics — memories are normally read through an index).
+    pub fn as_scalar(&self) -> &Bits {
+        match self {
+            Value::Scalar(b) => b,
+            Value::Memory(v) => &v[0],
+        }
+    }
+
+    /// Total number of bits of state held by this value.
+    pub fn state_bits(&self) -> usize {
+        match self {
+            Value::Scalar(b) => b.width(),
+            Value::Memory(v) => v.iter().map(|b| b.width()).sum(),
+        }
+    }
+
+    /// Serialises the value into a flat word vector (used by `$save`).
+    pub fn to_words(&self) -> Vec<u64> {
+        match self {
+            Value::Scalar(b) => b.words().to_vec(),
+            Value::Memory(v) => v.iter().flat_map(|b| b.words().iter().copied()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_state_bits() {
+        assert_eq!(Value::scalar(17).state_bits(), 17);
+    }
+
+    #[test]
+    fn memory_state_bits() {
+        assert_eq!(Value::memory(8, 16).state_bits(), 128);
+    }
+
+    #[test]
+    fn to_words_flattens_memory() {
+        let v = Value::memory(8, 4);
+        assert_eq!(v.to_words().len(), 4);
+    }
+}

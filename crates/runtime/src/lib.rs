@@ -1,0 +1,18 @@
+//! # synergy-runtime
+//!
+//! The Cascade-style runtime at the heart of SYNERGY (§2.1, §3.5 of the paper).
+//!
+//! A [`Runtime`] owns one user program and executes it through interchangeable
+//! [`Engine`]s: the [`SoftwareEngine`] interprets the original program directly
+//! (full unsynthesizable Verilog support), while the [`HardwareEngine`] executes
+//! the SYNERGY-transformed state machine on a simulated fabric, trapping to the
+//! runtime at sub-clock-tick granularity whenever an unsynthesizable task needs
+//! servicing. State capture (`$save`/`$restart`), workload migration, and the
+//! virtual-clock profiling used throughout the paper's evaluation live here.
+#![warn(missing_docs)]
+
+mod engine;
+mod runtime;
+
+pub use engine::{Engine, EngineKind, HardwareEngine, SoftwareEngine, TickReport};
+pub use runtime::{ExecMode, Profiler, RunReport, Runtime, RuntimeEvent, Sample};

@@ -1,0 +1,630 @@
+//! The per-application SYNERGY runtime instance.
+//!
+//! A [`Runtime`] owns one user program: it parses and elaborates the source, starts
+//! execution on a software engine (exactly as Cascade does), and can transparently
+//! migrate the program to a hardware engine — or between hardware targets — using
+//! the `$save`/`$restart` state-capture path (§3.5). It also keeps the
+//! virtual-clock profile the paper's experiments report (hashes/s, instructions/s,
+//! virtual frequency) against simulated wall-clock time.
+
+use crate::engine::{Engine, EngineKind, HardwareEngine, SoftwareEngine, TickReport};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use synergy_fpga::{BitstreamCache, Device, SimClock, SynthOptions};
+use synergy_interp::{BufferEnv, StateSnapshot, TaskEffect, Value};
+use synergy_transform::{transform, TransformOptions, Transformed};
+use synergy_vlog::elaborate::ElabModule;
+use synergy_vlog::{Bits, VlogResult};
+
+/// A single throughput sample recorded by the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Simulated wall time in seconds.
+    pub time_s: f64,
+    /// Virtual clock ticks executed so far.
+    pub ticks: u64,
+    /// Virtual clock frequency over the last sampling interval, in Hz.
+    pub virtual_hz: f64,
+}
+
+/// Records virtual-clock progress over simulated time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Profiler {
+    samples: Vec<Sample>,
+    last_time_s: f64,
+    last_ticks: u64,
+}
+
+impl Profiler {
+    /// Records a sample at the given simulated time and cumulative tick count.
+    pub fn record(&mut self, time_s: f64, ticks: u64) {
+        let dt = time_s - self.last_time_s;
+        let dticks = ticks.saturating_sub(self.last_ticks);
+        let virtual_hz = if dt > 0.0 { dticks as f64 / dt } else { 0.0 };
+        self.samples.push(Sample {
+            time_s,
+            ticks,
+            virtual_hz,
+        });
+        self.last_time_s = time_s;
+        self.last_ticks = ticks;
+    }
+
+    /// All recorded samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Peak virtual frequency seen so far.
+    pub fn peak_virtual_hz(&self) -> f64 {
+        self.samples.iter().map(|s| s.virtual_hz).fold(0.0, f64::max)
+    }
+}
+
+/// Accounting for one call to [`Runtime::run_ticks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Virtual clock ticks executed.
+    pub ticks: u64,
+    /// Native device cycles consumed.
+    pub native_cycles: u64,
+    /// ABI requests exchanged.
+    pub abi_requests: u64,
+    /// Unsynthesizable task traps serviced.
+    pub tasks_handled: u64,
+    /// Simulated nanoseconds that elapsed.
+    pub elapsed_ns: u64,
+}
+
+/// Events surfaced to the caller after running the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeEvent {
+    /// The program executed `$save("tag")`; the snapshot is stored under that tag.
+    Saved(String),
+    /// The program executed `$restart("tag")` and its state was restored.
+    Restarted(String),
+    /// The program reached a `$yield` quiescence point.
+    Yielded,
+    /// The program executed `$finish(code)`.
+    Finished(u32),
+}
+
+/// Where the runtime currently executes the program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Software interpretation.
+    Software,
+    /// Hardware execution on the named device.
+    Hardware(String),
+}
+
+/// The per-application runtime: program, engine, environment, and profile.
+pub struct Runtime {
+    name: String,
+    source: String,
+    top: String,
+    clock: String,
+    design: ElabModule,
+    engine: Box<dyn Engine>,
+    /// System-task environment (file streams, captured output).
+    pub env: BufferEnv,
+    clock_hz: u64,
+    transport_ns: u64,
+    sim: SimClock,
+    ticks: u64,
+    profiler: Profiler,
+    checkpoints: BTreeMap<String, StateSnapshot>,
+    transformed: Option<Transformed>,
+    transform_options: TransformOptions,
+    finished: Option<u32>,
+}
+
+impl Runtime {
+    /// Creates a runtime for the given program, starting in software execution.
+    ///
+    /// `clock` names the input port that carries the program's virtual clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the source fails to parse or elaborate.
+    pub fn new(
+        name: impl Into<String>,
+        source: &str,
+        top: &str,
+        clock: &str,
+    ) -> VlogResult<Runtime> {
+        let design = synergy_vlog::compile(source, top)?;
+        let software = Device::software();
+        let engine = Box::new(SoftwareEngine::new(design.clone(), clock));
+        Ok(Runtime {
+            name: name.into(),
+            source: source.to_string(),
+            top: top.to_string(),
+            clock: clock.to_string(),
+            design,
+            engine,
+            env: BufferEnv::new(),
+            clock_hz: software.max_clock_hz,
+            transport_ns: software.transport.request_latency_ns(),
+            sim: SimClock::new(),
+            ticks: 0,
+            profiler: Profiler::default(),
+            checkpoints: BTreeMap::new(),
+            transformed: None,
+            transform_options: TransformOptions::default(),
+            finished: None,
+        })
+    }
+
+    /// The application name this runtime was created with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program's source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The top module name.
+    pub fn top(&self) -> &str {
+        &self.top
+    }
+
+    /// The elaborated (untransformed) design.
+    pub fn design(&self) -> &ElabModule {
+        &self.design
+    }
+
+    /// Current execution mode.
+    pub fn mode(&self) -> ExecMode {
+        match self.engine.kind() {
+            EngineKind::Software => ExecMode::Software,
+            EngineKind::Hardware { device } => ExecMode::Hardware(device),
+        }
+    }
+
+    /// Exit code if the program has finished.
+    pub fn finished(&self) -> Option<u32> {
+        self.finished.or_else(|| self.engine.finished())
+    }
+
+    /// Cumulative virtual clock ticks executed.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Simulated wall-clock time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.sim.now_secs()
+    }
+
+    /// Simulated wall-clock time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.sim.now_ns()
+    }
+
+    /// Advances simulated time without executing (used when an instance is
+    /// descheduled by the hypervisor, §4.3).
+    pub fn idle_for_ns(&mut self, ns: u64) {
+        self.sim.advance_ns(ns);
+    }
+
+    /// The throughput profile recorded so far.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Named state checkpoints captured by `$save` or [`Runtime::save`].
+    pub fn checkpoints(&self) -> &BTreeMap<String, StateSnapshot> {
+        &self.checkpoints
+    }
+
+    /// The transformed design, if hardware compilation has happened.
+    pub fn transformed(&self) -> Option<&Transformed> {
+        self.transformed.as_ref()
+    }
+
+    /// Overrides the transformation options (e.g. the Cascade baseline).
+    pub fn set_transform_options(&mut self, options: TransformOptions) {
+        self.transform_options = options;
+    }
+
+    /// Reads a program variable from the running engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variable does not exist.
+    pub fn get(&self, var: &str) -> VlogResult<Value> {
+        self.engine.get(var)
+    }
+
+    /// Reads a scalar program variable as `Bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variable does not exist.
+    pub fn get_bits(&self, var: &str) -> VlogResult<Bits> {
+        Ok(self.engine.get(var)?.as_scalar().clone())
+    }
+
+    /// Writes a scalar program variable (typically a top-level input).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variable does not exist.
+    pub fn set(&mut self, var: &str, value: Bits) -> VlogResult<()> {
+        self.engine.set(var, value)
+    }
+
+    /// Registers an in-memory input file that the program can `$fopen`.
+    pub fn add_file(&mut self, path: impl Into<String>, data: Vec<u64>) {
+        self.env.add_file(path, data);
+    }
+
+    /// Runs `n` virtual clock ticks (or fewer if the program finishes), advancing
+    /// simulated time and the profiler, and returning any runtime events raised.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine evaluation errors.
+    pub fn run_ticks(&mut self, n: u64) -> VlogResult<(RunReport, Vec<RuntimeEvent>)> {
+        let mut report = RunReport::default();
+        let mut events = Vec::new();
+        for _ in 0..n {
+            if self.finished().is_some() {
+                break;
+            }
+            let tick: TickReport = self.engine.tick(&mut self.env)?;
+            self.ticks += 1;
+            report.ticks += 1;
+            report.native_cycles += tick.native_cycles;
+            report.abi_requests += tick.abi_requests;
+            report.tasks_handled += tick.tasks_handled;
+            let elapsed = self.tick_latency_ns(&tick);
+            self.sim.advance_ns(elapsed);
+            report.elapsed_ns += elapsed;
+
+            for effect in self.engine.take_effects() {
+                match effect {
+                    TaskEffect::Save(tag) => {
+                        let tag = if tag.is_empty() { "default".to_string() } else { tag };
+                        let snapshot = self.engine.save_state();
+                        self.sim.advance_ns(self.state_transfer_ns(&snapshot));
+                        self.checkpoints.insert(tag.clone(), snapshot);
+                        events.push(RuntimeEvent::Saved(tag));
+                    }
+                    TaskEffect::Restart(tag) => {
+                        let tag = if tag.is_empty() { "default".to_string() } else { tag };
+                        if let Some(snapshot) = self.checkpoints.get(&tag).cloned() {
+                            self.sim.advance_ns(self.state_transfer_ns(&snapshot));
+                            self.engine.restore_state(&snapshot);
+                        }
+                        events.push(RuntimeEvent::Restarted(tag));
+                    }
+                    TaskEffect::Yield => events.push(RuntimeEvent::Yielded),
+                    TaskEffect::Finish(code) => {
+                        self.finished = Some(code);
+                        events.push(RuntimeEvent::Finished(code));
+                    }
+                    TaskEffect::Continue => {}
+                }
+            }
+        }
+        self.profiler.record(self.sim.now_secs(), self.ticks);
+        Ok((report, events))
+    }
+
+    /// Runs until the program finishes or `max_ticks` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine evaluation errors.
+    pub fn run_to_completion(&mut self, max_ticks: u64) -> VlogResult<RunReport> {
+        let mut total = RunReport::default();
+        let mut remaining = max_ticks;
+        while remaining > 0 && self.finished().is_none() {
+            let chunk = remaining.min(1024);
+            let (r, _) = self.run_ticks(chunk)?;
+            total.ticks += r.ticks;
+            total.native_cycles += r.native_cycles;
+            total.abi_requests += r.abi_requests;
+            total.tasks_handled += r.tasks_handled;
+            total.elapsed_ns += r.elapsed_ns;
+            remaining -= chunk;
+        }
+        Ok(total)
+    }
+
+    fn tick_latency_ns(&self, tick: &TickReport) -> u64 {
+        if self.clock_hz == 0 {
+            return 0;
+        }
+        let cycle_ns = tick.native_cycles as u128 * 1_000_000_000u128 / self.clock_hz as u128;
+        // Batch-style programs run autonomously in hardware: the runtime's
+        // clock-toggle requests are batched by adaptive refinement, so only task
+        // traps pay the host<->fabric transport latency (a request and a reply
+        // each). This matches §4.1's "fewer than one ABI request per second" for
+        // batch applications while IO-bound programs pay per interaction.
+        cycle_ns as u64 + tick.tasks_handled * 2 * self.transport_ns
+    }
+
+    fn state_transfer_ns(&self, snapshot: &StateSnapshot) -> u64 {
+        // One get/set request per 64-bit word of state plus a fixed handshake.
+        let words = (snapshot.total_bits() as u64 + 63) / 64;
+        words * self.transport_ns + 10 * self.transport_ns
+    }
+
+    /// Captures the program state under a named tag (the scripted form of `$save`).
+    pub fn save(&mut self, tag: impl Into<String>) -> StateSnapshot {
+        let snapshot = self.engine.save_state();
+        self.sim.advance_ns(self.state_transfer_ns(&snapshot));
+        self.checkpoints.insert(tag.into(), snapshot.clone());
+        snapshot
+    }
+
+    /// Restores program state from a snapshot (the scripted form of `$restart`).
+    pub fn restore(&mut self, snapshot: &StateSnapshot) {
+        self.sim.advance_ns(self.state_transfer_ns(snapshot));
+        self.engine.restore_state(snapshot);
+        self.finished = None;
+    }
+
+    /// Transforms and compiles the program for `device` (priming or reusing the
+    /// bitstream cache), migrates state onto a hardware engine, and continues
+    /// execution there. Returns the simulated latency of the transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the transformation fails.
+    pub fn migrate_to_hardware(
+        &mut self,
+        device: &Device,
+        cache: &BitstreamCache,
+    ) -> VlogResult<u64> {
+        let transformed = match &self.transformed {
+            Some(t) => t.clone(),
+            None => {
+                let t = transform(&self.design, self.transform_options)?;
+                self.transformed = Some(t.clone());
+                t
+            }
+        };
+        let options = SynthOptions::synergy(
+            device,
+            transformed.state.captured_bits() as u64,
+            transformed.state.vars.len() as u64,
+        );
+        let outcome = cache.compile(&transformed.source, &transformed.elab, device, options);
+        let mut latency = outcome.latency_ns + device.reconfig_latency_ns;
+
+        // Quiesce, capture state, swap engines, restore state (§3.5).
+        let snapshot = self.engine.save_state();
+        latency += self.state_transfer_ns(&snapshot);
+        let mut hw = HardwareEngine::new(transformed, device.name.clone(), self.clock.clone());
+        hw.restore_state(&snapshot);
+        self.engine = Box::new(hw);
+        self.clock_hz = outcome.bitstream.report.achieved_hz;
+        self.transport_ns = device.transport.request_latency_ns();
+        self.sim.advance_ns(latency);
+        Ok(latency)
+    }
+
+    /// Moves execution back to the software engine (used while the fabric is being
+    /// reconfigured, §4.2). Returns the simulated latency of the transition.
+    pub fn migrate_to_software(&mut self) -> u64 {
+        let snapshot = self.engine.save_state();
+        let latency = self.state_transfer_ns(&snapshot);
+        let software = Device::software();
+        let mut sw = SoftwareEngine::new(self.design.clone(), self.clock.clone());
+        sw.restore_state(&snapshot);
+        self.engine = Box::new(sw);
+        self.clock_hz = software.max_clock_hz;
+        self.transport_ns = software.transport.request_latency_ns();
+        self.sim.advance_ns(latency);
+        latency
+    }
+
+    /// Overrides the effective fabric clock (used by the hypervisor when the global
+    /// clock changes because of co-tenants, §4.1 / Figure 12).
+    pub fn set_clock_hz(&mut self, clock_hz: u64) {
+        if self.mode() != ExecMode::Software {
+            self.clock_hz = clock_hz;
+        }
+    }
+
+    /// The effective clock the engine is currently running at.
+    pub fn clock_hz(&self) -> u64 {
+        self.clock_hz
+    }
+
+    /// Virtual clock frequency achieved over the program's lifetime, in Hz.
+    pub fn virtual_freq_hz(&self) -> f64 {
+        let t = self.sim.now_secs();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.ticks as f64 / t
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("name", &self.name)
+            .field("top", &self.top)
+            .field("mode", &self.mode())
+            .field("ticks", &self.ticks)
+            .field("time_s", &self.now_secs())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = r#"
+        module Counter(input wire clock, output wire [31:0] out);
+            reg [31:0] count = 0;
+            always @(posedge clock) count <= count + 1;
+            assign out = count;
+        endmodule
+    "#;
+
+    const FILE_SUM: &str = r#"
+        module M(input wire clock);
+            integer fd = $fopen("data.bin");
+            reg [31:0] r = 0;
+            reg [127:0] sum = 0;
+            always @(posedge clock) begin
+                $fread(fd, r);
+                if ($feof(fd)) begin
+                    $display(sum);
+                    $finish(0);
+                end else
+                    sum <= sum + r;
+            end
+        endmodule
+    "#;
+
+    #[test]
+    fn starts_in_software_and_counts() {
+        let mut rt = Runtime::new("counter", COUNTER, "Counter", "clock").unwrap();
+        assert_eq!(rt.mode(), ExecMode::Software);
+        rt.run_ticks(25).unwrap();
+        assert_eq!(rt.get_bits("count").unwrap().to_u64(), 25);
+        assert_eq!(rt.ticks(), 25);
+        assert!(rt.now_secs() > 0.0);
+    }
+
+    #[test]
+    fn migrates_to_hardware_and_keeps_state() {
+        let mut rt = Runtime::new("counter", COUNTER, "Counter", "clock").unwrap();
+        rt.run_ticks(10).unwrap();
+        let cache = BitstreamCache::new();
+        let latency = rt.migrate_to_hardware(&Device::f1(), &cache).unwrap();
+        assert!(latency > 0);
+        assert_eq!(rt.mode(), ExecMode::Hardware("f1".into()));
+        rt.run_ticks(10).unwrap();
+        assert_eq!(rt.get_bits("count").unwrap().to_u64(), 20);
+        // Hardware execution runs the virtual clock much faster than software.
+        assert!(rt.clock_hz() > Device::software().max_clock_hz);
+    }
+
+    #[test]
+    fn hardware_is_faster_than_software_in_virtual_time() {
+        let mut sw = Runtime::new("sw", COUNTER, "Counter", "clock").unwrap();
+        let (sw_report, _) = sw.run_ticks(100).unwrap();
+
+        let mut hw = Runtime::new("hw", COUNTER, "Counter", "clock").unwrap();
+        let cache = BitstreamCache::new();
+        hw.migrate_to_hardware(&Device::f1(), &cache).unwrap();
+        let (hw_report, _) = hw.run_ticks(100).unwrap();
+
+        assert!(hw_report.elapsed_ns < sw_report.elapsed_ns);
+    }
+
+    #[test]
+    fn file_sum_program_completes_in_hardware() {
+        let mut rt = Runtime::new("sum", FILE_SUM, "M", "clock").unwrap();
+        rt.add_file("data.bin", vec![1, 2, 3, 4, 5]);
+        // Run a couple of ticks in software first so $fopen executes there.
+        rt.run_ticks(2).unwrap();
+        let cache = BitstreamCache::new();
+        rt.migrate_to_hardware(&Device::de10(), &cache).unwrap();
+        rt.run_to_completion(100).unwrap();
+        assert_eq!(rt.finished(), Some(0));
+        assert_eq!(rt.get_bits("sum").unwrap().to_u64(), 15);
+        assert!(rt.env.output_text().contains("15"));
+    }
+
+    #[test]
+    fn save_and_restore_round_trip_across_engines() {
+        let mut rt = Runtime::new("counter", COUNTER, "Counter", "clock").unwrap();
+        rt.run_ticks(7).unwrap();
+        let snapshot = rt.save("checkpoint");
+        assert_eq!(snapshot.values["count"].as_scalar().to_u64(), 7);
+
+        // Continue, then roll back.
+        rt.run_ticks(5).unwrap();
+        assert_eq!(rt.get_bits("count").unwrap().to_u64(), 12);
+        let saved = rt.checkpoints()["checkpoint"].clone();
+        rt.restore(&saved);
+        assert_eq!(rt.get_bits("count").unwrap().to_u64(), 7);
+
+        // The same snapshot restores into a different runtime on different hardware
+        // (the Figure 9 suspend-and-resume flow).
+        let mut other = Runtime::new("counter2", COUNTER, "Counter", "clock").unwrap();
+        let cache = BitstreamCache::new();
+        other.migrate_to_hardware(&Device::f1(), &cache).unwrap();
+        other.restore(&saved);
+        other.run_ticks(3).unwrap();
+        assert_eq!(other.get_bits("count").unwrap().to_u64(), 10);
+    }
+
+    #[test]
+    fn dollar_save_creates_checkpoints() {
+        let src = r#"module M(input wire clock, input wire do_save);
+                         reg [31:0] n = 0;
+                         always @(posedge clock) begin
+                             if (do_save) $save("ckpt");
+                             n <= n + 1;
+                         end
+                     endmodule"#;
+        let mut rt = Runtime::new("saver", src, "M", "clock").unwrap();
+        rt.run_ticks(3).unwrap();
+        rt.set("do_save", Bits::from_u64(1, 1)).unwrap();
+        let (_, events) = rt.run_ticks(1).unwrap();
+        assert!(events.iter().any(|e| matches!(e, RuntimeEvent::Saved(t) if t == "ckpt")));
+        assert!(rt.checkpoints().contains_key("ckpt"));
+    }
+
+    #[test]
+    fn migrating_back_to_software_preserves_state() {
+        let mut rt = Runtime::new("counter", COUNTER, "Counter", "clock").unwrap();
+        let cache = BitstreamCache::new();
+        rt.migrate_to_hardware(&Device::de10(), &cache).unwrap();
+        rt.run_ticks(6).unwrap();
+        rt.migrate_to_software();
+        assert_eq!(rt.mode(), ExecMode::Software);
+        rt.run_ticks(4).unwrap();
+        assert_eq!(rt.get_bits("count").unwrap().to_u64(), 10);
+    }
+
+    #[test]
+    fn profiler_records_throughput_samples() {
+        let mut rt = Runtime::new("counter", COUNTER, "Counter", "clock").unwrap();
+        rt.run_ticks(10).unwrap();
+        rt.run_ticks(10).unwrap();
+        let samples = rt.profiler().samples();
+        assert_eq!(samples.len(), 2);
+        assert!(samples[1].ticks > samples[0].ticks);
+        assert!(rt.profiler().peak_virtual_hz() > 0.0);
+        assert!(rt.virtual_freq_hz() > 0.0);
+    }
+
+    #[test]
+    fn second_migration_reuses_cached_bitstream() {
+        let cache = BitstreamCache::new();
+        let device = Device::f1();
+        let mut a = Runtime::new("a", COUNTER, "Counter", "clock").unwrap();
+        let first = a.migrate_to_hardware(&device, &cache).unwrap();
+        let mut b = Runtime::new("b", COUNTER, "Counter", "clock").unwrap();
+        let second = b.migrate_to_hardware(&device, &cache).unwrap();
+        assert!(second < first, "cache hit avoids the synthesis latency");
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn clock_override_changes_virtual_time_accounting() {
+        let cache = BitstreamCache::new();
+        let mut rt = Runtime::new("counter", COUNTER, "Counter", "clock").unwrap();
+        rt.migrate_to_hardware(&Device::f1(), &cache).unwrap();
+        let (fast, _) = rt.run_ticks(50).unwrap();
+        rt.set_clock_hz(rt.clock_hz() / 2);
+        let (slow, _) = rt.run_ticks(50).unwrap();
+        assert!(slow.elapsed_ns > fast.elapsed_ns);
+    }
+}

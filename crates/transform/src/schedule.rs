@@ -1,0 +1,301 @@
+//! Scheduling transformations (Figure 3 of the paper).
+//!
+//! These passes establish the invariant that all procedural logic appears in a
+//! single control statement (the *core*):
+//!
+//! 1. `fork/join` blocks are replaced by `begin/end` blocks — sequential execution
+//!    is a valid scheduling of the parallel block.
+//! 2. Nested `begin/end` blocks are flattened.
+//! 3. All `always` blocks are merged into a single *core* block guarded by the
+//!    union of their events; each original body is guarded by a name-mangled
+//!    version of its original guard (`__trig_pos_clock`, ...), because all of the
+//!    conjuncts would otherwise execute whenever the core triggers.
+
+use serde::{Deserialize, Serialize};
+use synergy_vlog::ast::*;
+
+/// The name-mangled trigger register for an event guard.
+///
+/// `posedge clock` becomes `__trig_pos_clock`, `negedge x` becomes `__trig_neg_x`,
+/// and a level event on `x` becomes `__trig_any_x`.
+pub fn trigger_name(event: &Event) -> String {
+    let base = match &event.expr {
+        Expr::Ident(n) => n.clone(),
+        other => format!("expr{:x}", fingerprint(other)),
+    };
+    match event.edge {
+        Edge::Pos => format!("__trig_pos_{}", base),
+        Edge::Neg => format!("__trig_neg_{}", base),
+        Edge::Any => format!("__trig_any_{}", base),
+    }
+}
+
+/// The edge-detection wire name for an event (`__pos_clock`, `__neg_x`, `__any_x`);
+/// the Figure 4 `D` transformation.
+pub fn edge_wire_name(event: &Event) -> String {
+    let base = match &event.expr {
+        Expr::Ident(n) => n.clone(),
+        other => format!("expr{:x}", fingerprint(other)),
+    };
+    match event.edge {
+        Edge::Pos => format!("__pos_{}", base),
+        Edge::Neg => format!("__neg_{}", base),
+        Edge::Any => format!("__any_{}", base),
+    }
+}
+
+/// The previous-value register used for edge detection on a signal (`__prev_clock`).
+pub fn prev_reg_name(signal: &str) -> String {
+    format!("__prev_{}", signal)
+}
+
+fn fingerprint(e: &Expr) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    format!("{:?}", e).hash(&mut h);
+    h.finish()
+}
+
+/// A merged core: one guarded section per original `always` block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Core {
+    /// The distinct events guarding the core (union of all original guards).
+    pub events: Vec<Event>,
+    /// One section per original always block, in source order.
+    pub sections: Vec<CoreSection>,
+}
+
+/// One original always block after normalisation: its guards and its body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreSection {
+    /// Events that triggered the original block.
+    pub events: Vec<Event>,
+    /// Normalised body (fork/join removed, blocks flattened).
+    pub body: Stmt,
+}
+
+/// Replaces every `fork/join` block with an equivalent `begin/end` block (S rule 1
+/// in Figure 3).
+pub fn remove_fork_join(stmt: &Stmt) -> Stmt {
+    match stmt {
+        Stmt::Fork(stmts) | Stmt::Block(stmts) => {
+            Stmt::Block(stmts.iter().map(remove_fork_join).collect())
+        }
+        Stmt::If { cond, then, other } => Stmt::If {
+            cond: cond.clone(),
+            then: Box::new(remove_fork_join(then)),
+            other: other.as_ref().map(|s| Box::new(remove_fork_join(s))),
+        },
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+        } => Stmt::Case {
+            expr: expr.clone(),
+            arms: arms
+                .iter()
+                .map(|a| CaseArm {
+                    labels: a.labels.clone(),
+                    body: remove_fork_join(&a.body),
+                })
+                .collect(),
+            default: default.as_ref().map(|s| Box::new(remove_fork_join(s))),
+        },
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => Stmt::For {
+            init: init.clone(),
+            cond: cond.clone(),
+            step: step.clone(),
+            body: Box::new(remove_fork_join(body)),
+        },
+        Stmt::Repeat { count, body } => Stmt::Repeat {
+            count: count.clone(),
+            body: Box::new(remove_fork_join(body)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Flattens nested `begin/end` blocks into a single block (S rule 2 in Figure 3).
+pub fn flatten_blocks(stmt: &Stmt) -> Stmt {
+    fn flatten_into(stmt: &Stmt, out: &mut Vec<Stmt>) {
+        match stmt {
+            Stmt::Block(stmts) => stmts.iter().for_each(|s| flatten_into(s, out)),
+            other => out.push(flatten_one(other)),
+        }
+    }
+    fn flatten_one(stmt: &Stmt) -> Stmt {
+        match stmt {
+            Stmt::Block(_) => flatten_blocks(stmt),
+            Stmt::If { cond, then, other } => Stmt::If {
+                cond: cond.clone(),
+                then: Box::new(flatten_blocks(then)),
+                other: other.as_ref().map(|s| Box::new(flatten_blocks(s))),
+            },
+            Stmt::Case {
+                expr,
+                arms,
+                default,
+            } => Stmt::Case {
+                expr: expr.clone(),
+                arms: arms
+                    .iter()
+                    .map(|a| CaseArm {
+                        labels: a.labels.clone(),
+                        body: flatten_blocks(&a.body),
+                    })
+                    .collect(),
+                default: default.as_ref().map(|s| Box::new(flatten_blocks(s))),
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                step: step.clone(),
+                body: Box::new(flatten_blocks(body)),
+            },
+            Stmt::Repeat { count, body } => Stmt::Repeat {
+                count: count.clone(),
+                body: Box::new(flatten_blocks(body)),
+            },
+            other => other.clone(),
+        }
+    }
+    match stmt {
+        Stmt::Block(_) => {
+            let mut out = Vec::new();
+            flatten_into(stmt, &mut out);
+            Stmt::Block(out)
+        }
+        other => flatten_one(other),
+    }
+}
+
+/// Merges all `always` blocks into a single [`Core`] guarded by the union of their
+/// events (the bottom rule of Figure 3).
+pub fn merge_always(blocks: &[AlwaysBlock]) -> Core {
+    let mut events: Vec<Event> = Vec::new();
+    let mut sections = Vec::new();
+    for block in blocks {
+        for ev in &block.events {
+            if !events.iter().any(|e| e == ev) {
+                events.push(ev.clone());
+            }
+        }
+        let body = flatten_blocks(&remove_fork_join(&block.body));
+        sections.push(CoreSection {
+            events: block.events.clone(),
+            body,
+        });
+    }
+    Core { events, sections }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_vlog::parse;
+
+    fn always_blocks(src: &str) -> Vec<AlwaysBlock> {
+        let file = parse(src).unwrap();
+        file.modules[0]
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Always(b) => Some(b.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fork_join_becomes_block() {
+        let blocks = always_blocks(
+            r#"module M(input wire clock);
+                   reg [7:0] a = 0;
+                   always @(posedge clock) fork a <= 1; a <= 2; join
+               endmodule"#,
+        );
+        let s = remove_fork_join(&blocks[0].body);
+        assert!(matches!(s, Stmt::Block(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn nested_blocks_flatten() {
+        let blocks = always_blocks(
+            r#"module M(input wire clock);
+                   reg [7:0] a = 0;
+                   always @(posedge clock) begin
+                       begin a <= 1; begin a <= 2; end end
+                       a <= 3;
+                   end
+               endmodule"#,
+        );
+        let s = flatten_blocks(&blocks[0].body);
+        match s {
+            Stmt::Block(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected block, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn flatten_preserves_branch_bodies() {
+        let blocks = always_blocks(
+            r#"module M(input wire clock);
+                   reg [7:0] a = 0;
+                   always @(posedge clock)
+                       if (a == 0) begin begin a <= 1; end a <= 2; end
+               endmodule"#,
+        );
+        let s = flatten_blocks(&remove_fork_join(&blocks[0].body));
+        match s {
+            Stmt::If { then, .. } => match *then {
+                Stmt::Block(ref v) => assert_eq!(v.len(), 2),
+                ref other => panic!("expected block, got {:?}", other),
+            },
+            other => panic!("expected if, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn merge_unions_events_and_keeps_sections() {
+        let blocks = always_blocks(
+            r#"module M(input wire clock, input wire go);
+                   reg [7:0] a = 0;
+                   reg [7:0] b = 0;
+                   always @(posedge clock) a <= a + 1;
+                   always @(posedge clock or negedge go) b <= b + 1;
+               endmodule"#,
+        );
+        let core = merge_always(&blocks);
+        assert_eq!(core.events.len(), 2, "posedge clock deduplicated");
+        assert_eq!(core.sections.len(), 2);
+        assert_eq!(core.sections[0].events.len(), 1);
+        assert_eq!(core.sections[1].events.len(), 2);
+    }
+
+    #[test]
+    fn trigger_and_edge_names() {
+        let ev = Event {
+            edge: Edge::Pos,
+            expr: Expr::ident("clock"),
+        };
+        assert_eq!(trigger_name(&ev), "__trig_pos_clock");
+        assert_eq!(edge_wire_name(&ev), "__pos_clock");
+        assert_eq!(prev_reg_name("clock"), "__prev_clock");
+        let ev = Event {
+            edge: Edge::Any,
+            expr: Expr::ident("x"),
+        };
+        assert_eq!(edge_wire_name(&ev), "__any_x");
+    }
+}

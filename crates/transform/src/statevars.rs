@@ -1,0 +1,197 @@
+//! State-variable identification and the quiescence/volatile analysis (§5.3).
+//!
+//! SYNERGY satisfies AmorphOS's state-capture requirement transparently by using
+//! compiler analysis to identify the set of variables that comprise a program's
+//! state. By default every register is `non_volatile` and is saved/restored by the
+//! runtime. Programs that assert `$yield` opt into the quiescence interface: their
+//! registers become volatile by default (ignored by state-safe compilations) unless
+//! explicitly annotated `(* non_volatile *)`, which is where the LUT/FF savings in
+//! §6.3 come from.
+
+use serde::{Deserialize, Serialize};
+use synergy_vlog::ast::{Stmt, SystemTask, TaskKind};
+use synergy_vlog::elaborate::ElabModule;
+
+/// A single item of program state identified by the compiler.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateVar {
+    /// Flattened variable name.
+    pub name: String,
+    /// Total state bits (width × depth).
+    pub bits: usize,
+    /// `true` if this is a 1-D memory.
+    pub is_memory: bool,
+    /// `true` if the variable is ignored by state-safe compilation (quiescence
+    /// programs only).
+    pub volatile: bool,
+}
+
+/// The result of the state analysis for one program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct StateReport {
+    /// Whether the program uses the `$yield` quiescence interface.
+    pub uses_yield: bool,
+    /// Every stateful variable, in name order.
+    pub vars: Vec<StateVar>,
+}
+
+impl StateReport {
+    /// Total architectural state bits.
+    pub fn total_bits(&self) -> usize {
+        self.vars.iter().map(|v| v.bits).sum()
+    }
+
+    /// State bits that must be captured by `$save` / state-safe compilation.
+    pub fn captured_bits(&self) -> usize {
+        self.vars.iter().filter(|v| !v.volatile).map(|v| v.bits).sum()
+    }
+
+    /// State bits that are volatile (managed by the application across `$yield`).
+    pub fn volatile_bits(&self) -> usize {
+        self.total_bits() - self.captured_bits()
+    }
+
+    /// Fraction of state bits that are volatile, in `[0, 1]`.
+    pub fn volatile_fraction(&self) -> f64 {
+        let total = self.total_bits();
+        if total == 0 {
+            0.0
+        } else {
+            self.volatile_bits() as f64 / total as f64
+        }
+    }
+
+    /// Names of the variables that `$save` must capture.
+    pub fn captured_names(&self) -> Vec<&str> {
+        self.vars
+            .iter()
+            .filter(|v| !v.volatile)
+            .map(|v| v.name.as_str())
+            .collect()
+    }
+}
+
+/// Returns `true` if the statement tree contains a `$yield` task.
+pub fn stmt_uses_yield(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::SystemTask(SystemTask {
+            kind: TaskKind::Yield,
+            ..
+        }) => true,
+        Stmt::Block(v) | Stmt::Fork(v) => v.iter().any(stmt_uses_yield),
+        Stmt::If { then, other, .. } => {
+            stmt_uses_yield(then) || other.as_ref().map_or(false, |s| stmt_uses_yield(s))
+        }
+        Stmt::Case { arms, default, .. } => {
+            arms.iter().any(|a| stmt_uses_yield(&a.body))
+                || default.as_ref().map_or(false, |s| stmt_uses_yield(s))
+        }
+        Stmt::For { body, .. } | Stmt::Repeat { body, .. } => stmt_uses_yield(body),
+        _ => false,
+    }
+}
+
+/// Analyses a program's state: which registers exist, how many bits they hold, and
+/// which are volatile under the quiescence interface.
+pub fn analyze(module: &ElabModule) -> StateReport {
+    let uses_yield = module.always.iter().any(|b| stmt_uses_yield(&b.body))
+        || module.initials.iter().any(stmt_uses_yield);
+    let mut vars = Vec::new();
+    for var in module.vars.values() {
+        if !var.is_register() {
+            continue;
+        }
+        // Compiler-introduced bookkeeping registers are never program state.
+        if var.name.starts_with("__") {
+            continue;
+        }
+        let volatile = uses_yield && !var.non_volatile;
+        vars.push(StateVar {
+            name: var.name.clone(),
+            bits: var.state_bits(),
+            is_memory: var.depth.is_some(),
+            volatile,
+        });
+    }
+    StateReport { uses_yield, vars }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_vlog::compile;
+
+    #[test]
+    fn without_yield_everything_is_captured() {
+        let m = compile(
+            r#"module M(input wire clock);
+                   reg [31:0] a = 0;
+                   reg [7:0] mem [0:15];
+                   always @(posedge clock) a <= a + 1;
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        let report = analyze(&m);
+        assert!(!report.uses_yield);
+        assert_eq!(report.total_bits(), 32 + 128);
+        assert_eq!(report.captured_bits(), report.total_bits());
+        assert_eq!(report.volatile_fraction(), 0.0);
+    }
+
+    #[test]
+    fn yield_makes_unannotated_state_volatile() {
+        // Mirrors Figure 8 of the paper.
+        let m = compile(
+            r#"module Root(input wire clock);
+                   (* non_volatile *) reg [31:0] x = 0;
+                   reg [31:0] y = 0;
+                   always @(posedge clock) begin
+                       if (x > 10) $yield;
+                       y <= y + 1;
+                   end
+               endmodule"#,
+            "Root",
+        )
+        .unwrap();
+        let report = analyze(&m);
+        assert!(report.uses_yield);
+        assert_eq!(report.total_bits(), 64);
+        assert_eq!(report.captured_bits(), 32);
+        assert_eq!(report.captured_names(), vec!["x"]);
+        assert!((report.volatile_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compiler_temporaries_are_not_program_state() {
+        let m = compile(
+            r#"module M(input wire clock);
+                   reg [31:0] a = 0;
+                   reg [31:0] __scratch = 0;
+                   always @(posedge clock) a <= a + 1;
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        let report = analyze(&m);
+        assert_eq!(report.vars.len(), 1);
+        assert_eq!(report.vars[0].name, "a");
+    }
+
+    #[test]
+    fn memories_are_flagged() {
+        let m = compile(
+            r#"module M(input wire clock);
+                   reg [7:0] mem [0:255];
+                   reg [7:0] r = 0;
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        let report = analyze(&m);
+        let mem = report.vars.iter().find(|v| v.name == "mem").unwrap();
+        assert!(mem.is_memory);
+        assert_eq!(mem.bits, 2048);
+        assert!(!report.vars.iter().find(|v| v.name == "r").unwrap().is_memory);
+    }
+}

@@ -1,0 +1,730 @@
+//! Arbitrary-width two-state bit vectors.
+//!
+//! [`Bits`] is the value type used throughout the SYNERGY reproduction for wire and
+//! register contents. It models Verilog's packed vectors with two-state (0/1) logic;
+//! see `DESIGN.md` for why four-state logic was not needed for the paper's
+//! evaluation. Values carry an explicit bit width and all arithmetic wraps to that
+//! width, matching the semantics of Verilog expressions once widths are resolved.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-width, two-state (0/1) bit vector.
+///
+/// The width is fixed at construction; operations that combine two values
+/// (addition, bitwise ops, comparison) extend the narrower operand with zeros,
+/// which matches Verilog's unsigned expression semantics after width resolution.
+///
+/// # Examples
+///
+/// ```
+/// use synergy_vlog::Bits;
+///
+/// let a = Bits::from_u64(32, 40);
+/// let b = Bits::from_u64(32, 2);
+/// assert_eq!(a.add(&b).to_u64(), 42);
+/// assert_eq!(a.width(), 32);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bits {
+    /// Width in bits. Zero-width values are normalised to width 1.
+    width: usize,
+    /// Little-endian 64-bit words; bits above `width` are always zero.
+    words: Vec<u64>,
+}
+
+fn words_for(width: usize) -> usize {
+    (width + 63) / 64
+}
+
+impl Bits {
+    /// Creates a zero value of the given width.
+    ///
+    /// A requested width of 0 is normalised to 1, mirroring how Verilog treats
+    /// degenerate ranges.
+    pub fn zero(width: usize) -> Self {
+        let width = width.max(1);
+        Bits {
+            width,
+            words: vec![0; words_for(width)],
+        }
+    }
+
+    /// Creates a value of the given width with every bit set.
+    pub fn ones(width: usize) -> Self {
+        let mut b = Bits::zero(width);
+        for w in b.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a value from the low bits of `v`, truncated or zero-extended to `width`.
+    pub fn from_u64(width: usize, v: u64) -> Self {
+        let mut b = Bits::zero(width);
+        b.words[0] = v;
+        b.mask_top();
+        b
+    }
+
+    /// Creates a value from a `u128`, truncated or zero-extended to `width`.
+    pub fn from_u128(width: usize, v: u128) -> Self {
+        let mut b = Bits::zero(width);
+        b.words[0] = v as u64;
+        if b.words.len() > 1 {
+            b.words[1] = (v >> 64) as u64;
+        }
+        b.mask_top();
+        b
+    }
+
+    /// Creates a single-bit value from a boolean.
+    pub fn from_bool(v: bool) -> Self {
+        Bits::from_u64(1, v as u64)
+    }
+
+    /// Creates a value from raw little-endian words.
+    pub fn from_words(width: usize, words: Vec<u64>) -> Self {
+        let width = width.max(1);
+        let mut b = Bits {
+            width,
+            words,
+        };
+        b.words.resize(words_for(width), 0);
+        b.mask_top();
+        b
+    }
+
+    /// The width of this value in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// A view of the underlying little-endian words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn mask_top(&mut self) {
+        let rem = self.width % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// The low 64 bits of the value.
+    pub fn to_u64(&self) -> u64 {
+        self.words[0]
+    }
+
+    /// The low 128 bits of the value.
+    pub fn to_u128(&self) -> u128 {
+        let lo = self.words[0] as u128;
+        let hi = if self.words.len() > 1 {
+            self.words[1] as u128
+        } else {
+            0
+        };
+        (hi << 64) | lo
+    }
+
+    /// `true` if any bit is set (Verilog truthiness).
+    pub fn to_bool(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        !self.to_bool()
+    }
+
+    /// Returns the bit at `idx`, or `false` if out of range.
+    pub fn bit(&self, idx: usize) -> bool {
+        if idx >= self.width {
+            return false;
+        }
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `idx`. Bits outside the width are ignored.
+    pub fn set_bit(&mut self, idx: usize, v: bool) {
+        if idx >= self.width {
+            return;
+        }
+        let w = idx / 64;
+        let m = 1u64 << (idx % 64);
+        if v {
+            self.words[w] |= m;
+        } else {
+            self.words[w] &= !m;
+        }
+    }
+
+    /// Returns a copy truncated or zero-extended to `width`.
+    pub fn resize(&self, width: usize) -> Bits {
+        let width = width.max(1);
+        let mut b = Bits::zero(width);
+        let n = b.words.len().min(self.words.len());
+        b.words[..n].copy_from_slice(&self.words[..n]);
+        b.mask_top();
+        b
+    }
+
+    /// Returns a copy sign-extended (from its own top bit) to `width`.
+    pub fn sign_extend(&self, width: usize) -> Bits {
+        let width = width.max(1);
+        if width <= self.width || !self.bit(self.width - 1) {
+            return self.resize(width);
+        }
+        let mut b = self.resize(width);
+        for i in self.width..width {
+            b.set_bit(i, true);
+        }
+        b
+    }
+
+    /// Extracts the inclusive bit range `[hi:lo]` as a new value of width `hi - lo + 1`.
+    ///
+    /// Bits beyond this value's width read as zero.
+    pub fn slice(&self, hi: usize, lo: usize) -> Bits {
+        assert!(hi >= lo, "slice hi must be >= lo");
+        let w = hi - lo + 1;
+        let mut out = Bits::zero(w);
+        for i in 0..w {
+            out.set_bit(i, self.bit(lo + i));
+        }
+        out
+    }
+
+    /// Writes `val` into the inclusive bit range `[hi:lo]` of `self`.
+    pub fn set_slice(&mut self, hi: usize, lo: usize, val: &Bits) {
+        assert!(hi >= lo, "slice hi must be >= lo");
+        let w = hi - lo + 1;
+        for i in 0..w {
+            if lo + i < self.width {
+                self.set_bit(lo + i, val.bit(i));
+            }
+        }
+    }
+
+    /// Concatenates `{self, rhs}` — `self` occupies the high bits, as in Verilog.
+    pub fn concat(&self, rhs: &Bits) -> Bits {
+        let w = self.width + rhs.width;
+        let mut out = Bits::zero(w);
+        for i in 0..rhs.width {
+            out.set_bit(i, rhs.bit(i));
+        }
+        for i in 0..self.width {
+            out.set_bit(rhs.width + i, self.bit(i));
+        }
+        out
+    }
+
+    /// Replicates the value `n` times, as in `{n{expr}}`.
+    pub fn replicate(&self, n: usize) -> Bits {
+        if n == 0 {
+            return Bits::zero(1);
+        }
+        let mut out = self.clone();
+        for _ in 1..n {
+            out = out.concat(self);
+        }
+        out
+    }
+
+    fn binary_width(&self, rhs: &Bits) -> usize {
+        self.width.max(rhs.width)
+    }
+
+    /// Wrapping addition at the wider operand's width.
+    pub fn add(&self, rhs: &Bits) -> Bits {
+        let w = self.binary_width(rhs);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        let mut out = Bits::zero(w);
+        let mut carry = 0u64;
+        for i in 0..out.words.len() {
+            let (s1, c1) = a.words[i].overflowing_add(b.words[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.words[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Wrapping subtraction at the wider operand's width.
+    pub fn sub(&self, rhs: &Bits) -> Bits {
+        let w = self.binary_width(rhs);
+        self.add(&rhs.resize(w).not().add(&Bits::from_u64(w, 1)))
+            .resize(w)
+    }
+
+    /// Two's-complement negation at this value's width.
+    pub fn neg(&self) -> Bits {
+        Bits::zero(self.width).sub(self)
+    }
+
+    /// Wrapping multiplication at the wider operand's width.
+    pub fn mul(&self, rhs: &Bits) -> Bits {
+        let w = self.binary_width(rhs);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        let mut out = Bits::zero(w);
+        for (i, &aw) in a.words.iter().enumerate() {
+            if aw == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &bw) in b.words.iter().enumerate() {
+                if i + j >= out.words.len() {
+                    break;
+                }
+                let cur = out.words[i + j] as u128 + (aw as u128) * (bw as u128) + carry;
+                out.words[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Unsigned division; division by zero yields all-ones, as many simulators do.
+    pub fn div(&self, rhs: &Bits) -> Bits {
+        let w = self.binary_width(rhs);
+        if rhs.is_zero() {
+            return Bits::ones(w);
+        }
+        if w <= 128 {
+            return Bits::from_u128(w, self.to_u128() / rhs.to_u128());
+        }
+        // Schoolbook long division for wide values.
+        let mut quotient = Bits::zero(w);
+        let mut rem = Bits::zero(w);
+        for i in (0..w).rev() {
+            rem = rem.shl(1);
+            rem.set_bit(0, self.bit(i));
+            if rem.ucmp(rhs) != Ordering::Less {
+                rem = rem.sub(rhs);
+                quotient.set_bit(i, true);
+            }
+        }
+        quotient
+    }
+
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    pub fn rem(&self, rhs: &Bits) -> Bits {
+        let w = self.binary_width(rhs);
+        if rhs.is_zero() {
+            return self.resize(w);
+        }
+        if w <= 128 {
+            return Bits::from_u128(w, self.to_u128() % rhs.to_u128());
+        }
+        let q = self.div(rhs);
+        self.resize(w).sub(&q.mul(rhs))
+    }
+
+    /// Bitwise AND at the wider operand's width.
+    pub fn and(&self, rhs: &Bits) -> Bits {
+        self.zip(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise OR at the wider operand's width.
+    pub fn or(&self, rhs: &Bits) -> Bits {
+        self.zip(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise XOR at the wider operand's width.
+    pub fn xor(&self, rhs: &Bits) -> Bits {
+        self.zip(rhs, |a, b| a ^ b)
+    }
+
+    fn zip(&self, rhs: &Bits, f: impl Fn(u64, u64) -> u64) -> Bits {
+        let w = self.binary_width(rhs);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        let mut out = Bits::zero(w);
+        for i in 0..out.words.len() {
+            out.words[i] = f(a.words[i], b.words[i]);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise NOT at this value's width.
+    pub fn not(&self) -> Bits {
+        let mut out = self.clone();
+        for w in out.words.iter_mut() {
+            *w = !*w;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Logical shift left by `n`; bits shifted past the width are lost.
+    pub fn shl(&self, n: usize) -> Bits {
+        let mut out = Bits::zero(self.width);
+        for i in (n..self.width).rev() {
+            out.set_bit(i, self.bit(i - n));
+        }
+        out
+    }
+
+    /// Logical shift right by `n`.
+    pub fn shr(&self, n: usize) -> Bits {
+        let mut out = Bits::zero(self.width);
+        if n >= self.width {
+            return out;
+        }
+        for i in 0..self.width - n {
+            out.set_bit(i, self.bit(i + n));
+        }
+        out
+    }
+
+    /// Arithmetic (sign-preserving) shift right by `n`.
+    pub fn ashr(&self, n: usize) -> Bits {
+        let sign = self.bit(self.width - 1);
+        let mut out = self.shr(n);
+        if sign {
+            for i in self.width.saturating_sub(n)..self.width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Unsigned comparison of the numeric values (widths need not match).
+    pub fn ucmp(&self, rhs: &Bits) -> Ordering {
+        let w = self.binary_width(rhs);
+        let a = self.resize(w);
+        let b = rhs.resize(w);
+        for i in (0..a.words.len()).rev() {
+            match a.words[i].cmp(&b.words[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Signed two's-complement comparison at the wider operand's width.
+    pub fn scmp(&self, rhs: &Bits) -> Ordering {
+        let w = self.binary_width(rhs);
+        let a = self.sign_extend(w);
+        let b = rhs.sign_extend(w);
+        let an = a.bit(w - 1);
+        let bn = b.bit(w - 1);
+        match (an, bn) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => a.ucmp(&b),
+        }
+    }
+
+    /// Reduction AND: 1 iff every bit is set.
+    pub fn reduce_and(&self) -> bool {
+        (0..self.width).all(|i| self.bit(i))
+    }
+
+    /// Reduction OR: 1 iff any bit is set.
+    pub fn reduce_or(&self) -> bool {
+        self.to_bool()
+    }
+
+    /// Reduction XOR: parity of the set bits.
+    pub fn reduce_xor(&self) -> bool {
+        self.words.iter().map(|w| w.count_ones()).sum::<u32>() % 2 == 1
+    }
+
+    /// The number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Parses the numeric part of a Verilog literal in the given base.
+    ///
+    /// Underscores are ignored. Returns `None` on an invalid digit.
+    pub fn parse_radix(width: usize, base: u32, digits: &str) -> Option<Bits> {
+        let mut out = Bits::zero(width);
+        let shift = match base {
+            2 => 1,
+            8 => 3,
+            16 => 4,
+            10 => 0,
+            _ => return None,
+        };
+        for ch in digits.chars() {
+            if ch == '_' {
+                continue;
+            }
+            let d = ch.to_digit(base)? as u64;
+            if base == 10 {
+                out = out.mul(&Bits::from_u64(width, 10)).add(&Bits::from_u64(width, d));
+            } else {
+                out = out.shl(shift);
+                out = out.or(&Bits::from_u64(width, d));
+            }
+            out = out.resize(width);
+        }
+        Some(out)
+    }
+
+    /// Renders the value as a lowercase hexadecimal string without a prefix.
+    pub fn to_hex_string(&self) -> String {
+        let digits = (self.width + 3) / 4;
+        let mut s = String::with_capacity(digits);
+        for i in (0..digits).rev() {
+            let nib = self.slice(((i * 4) + 3).min(self.width - 1), i * 4).to_u64();
+            s.push(std::char::from_digit(nib as u32, 16).unwrap());
+        }
+        s
+    }
+
+    /// Renders the value as an unsigned decimal string.
+    pub fn to_dec_string(&self) -> String {
+        if self.width <= 128 {
+            return format!("{}", self.to_u128());
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        let ten = Bits::from_u64(self.width, 10);
+        while !cur.is_zero() {
+            let d = cur.rem(&ten).to_u64();
+            digits.push(std::char::from_digit(d as u32, 10).unwrap());
+            cur = cur.div(&ten);
+        }
+        if digits.is_empty() {
+            digits.push('0');
+        }
+        digits.iter().rev().collect()
+    }
+}
+
+impl Default for Bits {
+    fn default() -> Self {
+        Bits::zero(1)
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{}", self.width, self.to_hex_string())
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dec_string())
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex_string())
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::with_capacity(self.width);
+        for i in (0..self.width).rev() {
+            s.push(if self.bit(i) { '1' } else { '0' });
+        }
+        write!(f, "{}", s)
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(v: bool) -> Self {
+        Bits::from_bool(v)
+    }
+}
+
+impl From<u64> for Bits {
+    fn from(v: u64) -> Self {
+        Bits::from_u64(64, v)
+    }
+}
+
+impl PartialOrd for Bits {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.ucmp(other))
+    }
+}
+
+impl Ord for Bits {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.ucmp(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_width() {
+        let b = Bits::zero(33);
+        assert_eq!(b.width(), 33);
+        assert!(b.is_zero());
+        assert_eq!(Bits::zero(0).width(), 1);
+    }
+
+    #[test]
+    fn from_and_to_u64() {
+        let b = Bits::from_u64(8, 0x1ff);
+        assert_eq!(b.to_u64(), 0xff, "value is truncated to width");
+    }
+
+    #[test]
+    fn wide_values_round_trip() {
+        let v: u128 = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210;
+        let b = Bits::from_u128(128, v);
+        assert_eq!(b.to_u128(), v);
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        let a = Bits::from_u64(8, 250);
+        let b = Bits::from_u64(8, 10);
+        assert_eq!(a.add(&b).to_u64(), 4);
+    }
+
+    #[test]
+    fn add_carries_across_words() {
+        let a = Bits::from_u128(128, u64::MAX as u128);
+        let b = Bits::from_u64(128, 1);
+        assert_eq!(a.add(&b).to_u128(), (u64::MAX as u128) + 1);
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        let a = Bits::from_u64(16, 5);
+        let b = Bits::from_u64(16, 7);
+        assert_eq!(a.sub(&b).to_u64(), 0xfffe);
+        assert_eq!(b.sub(&a).to_u64(), 2);
+        assert_eq!(a.neg().to_u64(), 0xfffb);
+    }
+
+    #[test]
+    fn mul_wide() {
+        let a = Bits::from_u64(64, u32::MAX as u64);
+        let b = Bits::from_u64(64, u32::MAX as u64);
+        assert_eq!(a.mul(&b).to_u64(), (u32::MAX as u64) * (u32::MAX as u64));
+    }
+
+    #[test]
+    fn div_rem_basics() {
+        let a = Bits::from_u64(32, 100);
+        let b = Bits::from_u64(32, 7);
+        assert_eq!(a.div(&b).to_u64(), 14);
+        assert_eq!(a.rem(&b).to_u64(), 2);
+        assert_eq!(a.div(&Bits::zero(32)).to_u64(), u32::MAX as u64);
+    }
+
+    #[test]
+    fn div_wide_long_division() {
+        let a = Bits::from_u128(200, 1u128 << 100);
+        let b = Bits::from_u64(200, 3);
+        let q = a.div(&b);
+        let expected = (1u128 << 100) / 3;
+        assert_eq!(q.to_u128(), expected);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = Bits::from_u64(8, 0b1100);
+        let b = Bits::from_u64(8, 0b1010);
+        assert_eq!(a.and(&b).to_u64(), 0b1000);
+        assert_eq!(a.or(&b).to_u64(), 0b1110);
+        assert_eq!(a.xor(&b).to_u64(), 0b0110);
+        assert_eq!(a.not().to_u64(), 0xf3);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Bits::from_u64(8, 0b1001_0001);
+        assert_eq!(a.shl(1).to_u64(), 0b0010_0010);
+        assert_eq!(a.shr(4).to_u64(), 0b1001);
+        assert_eq!(a.ashr(4).to_u64(), 0b1111_1001);
+        assert_eq!(a.shr(100).to_u64(), 0);
+    }
+
+    #[test]
+    fn slicing_and_concat() {
+        let a = Bits::from_u64(16, 0xabcd);
+        assert_eq!(a.slice(15, 8).to_u64(), 0xab);
+        assert_eq!(a.slice(7, 0).to_u64(), 0xcd);
+        let c = a.slice(15, 8).concat(&a.slice(7, 0));
+        assert_eq!(c.to_u64(), 0xabcd);
+        assert_eq!(c.width(), 16);
+    }
+
+    #[test]
+    fn set_slice_updates_range() {
+        let mut a = Bits::zero(16);
+        a.set_slice(11, 4, &Bits::from_u64(8, 0xff));
+        assert_eq!(a.to_u64(), 0x0ff0);
+    }
+
+    #[test]
+    fn replicate_builds_patterns() {
+        let a = Bits::from_u64(2, 0b10);
+        assert_eq!(a.replicate(4).to_u64(), 0b10101010);
+        assert_eq!(a.replicate(4).width(), 8);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Bits::from_u64(8, 200);
+        let b = Bits::from_u64(8, 100);
+        assert_eq!(a.ucmp(&b), Ordering::Greater);
+        // 200 as signed 8-bit is negative.
+        assert_eq!(a.scmp(&b), Ordering::Less);
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(Bits::ones(7).reduce_and());
+        assert!(!Bits::from_u64(7, 0b0111111).reduce_and());
+        assert!(Bits::from_u64(7, 0b1).reduce_or());
+        assert!(Bits::from_u64(7, 0b11).reduce_xor() == false);
+        assert!(Bits::from_u64(7, 0b111).reduce_xor());
+    }
+
+    #[test]
+    fn parse_radix_bases() {
+        assert_eq!(Bits::parse_radix(8, 16, "ff").unwrap().to_u64(), 0xff);
+        assert_eq!(Bits::parse_radix(8, 2, "1010_1010").unwrap().to_u64(), 0xaa);
+        assert_eq!(Bits::parse_radix(16, 10, "1234").unwrap().to_u64(), 1234);
+        assert_eq!(Bits::parse_radix(8, 8, "17").unwrap().to_u64(), 0o17);
+        assert!(Bits::parse_radix(8, 16, "xyz").is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        let b = Bits::from_u64(16, 0x2a);
+        assert_eq!(format!("{}", b), "42");
+        assert_eq!(format!("{:x}", b), "002a");
+        assert_eq!(format!("{:b}", Bits::from_u64(4, 0b1010)), "1010");
+        assert_eq!(format!("{:?}", Bits::from_u64(8, 0xff)), "8'hff");
+    }
+
+    #[test]
+    fn dec_string_wide() {
+        let b = Bits::from_u128(130, 340_282_366_920_938_463_463_374_607_431_768_211_455u128);
+        assert_eq!(b.to_dec_string(), "340282366920938463463374607431768211455");
+    }
+
+    #[test]
+    fn sign_extension() {
+        let b = Bits::from_u64(4, 0b1000);
+        assert_eq!(b.sign_extend(8).to_u64(), 0xf8);
+        assert_eq!(Bits::from_u64(4, 0b0100).sign_extend(8).to_u64(), 0x04);
+    }
+}

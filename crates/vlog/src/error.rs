@@ -1,0 +1,69 @@
+//! Error types for the Verilog frontend.
+
+use std::fmt;
+
+/// Result alias used throughout the frontend.
+pub type VlogResult<T> = Result<T, VlogError>;
+
+/// Errors produced by lexing, parsing, or elaborating Verilog source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VlogError {
+    /// Lexical error at a source position.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Parse error at a source position.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Elaboration error (unresolved names, bad widths, missing modules, ...).
+    Elaborate(String),
+    /// A construct outside the supported subset was used.
+    Unsupported(String),
+}
+
+impl fmt::Display for VlogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VlogError::Lex { line, col, msg } => write!(f, "lex error at {}:{}: {}", line, col, msg),
+            VlogError::Parse { line, col, msg } => {
+                write!(f, "parse error at {}:{}: {}", line, col, msg)
+            }
+            VlogError::Elaborate(msg) => write!(f, "elaboration error: {}", msg),
+            VlogError::Unsupported(msg) => write!(f, "unsupported construct: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for VlogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = VlogError::Parse {
+            line: 3,
+            col: 7,
+            msg: "expected ';'".into(),
+        };
+        assert_eq!(format!("{}", e), "parse error at 3:7: expected ';'");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(VlogError::Elaborate("x".into()));
+        assert!(format!("{}", e).contains("elaboration"));
+    }
+}

@@ -1,0 +1,528 @@
+//! Lexer for the Verilog subset.
+//!
+//! Produces a flat token stream with line/column positions. Comments (`//` and
+//! `/* */`) and whitespace are skipped. Sized literals such as `32'hdeadbeef` are
+//! lexed as a single [`Token::Number`] carrying the resolved [`Bits`] value.
+
+use crate::error::{VlogError, VlogResult};
+use crate::Bits;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// System task/function name without the `$`, e.g. `display`.
+    SysIdent(String),
+    /// Numeric literal with resolved width and value.
+    Number(Bits),
+    /// String literal contents (quotes removed, escapes resolved).
+    Str(String),
+    /// A punctuation or operator symbol.
+    Sym(Sym),
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Sym {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Colon,
+    Comma,
+    Dot,
+    Hash,
+    At,
+    Question,
+    Assign,     // =
+    NonBlock,   // <=  (also less-equal; disambiguated by the parser)
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    AShr,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Ge,
+    AttrOpen,  // (*
+    AttrClose, // *)
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{}", s),
+            Token::SysIdent(s) => write!(f, "${}", s),
+            Token::Number(b) => write!(f, "{:?}", b),
+            Token::Str(s) => write!(f, "\"{}\"", s),
+            Token::Sym(s) => write!(f, "{:?}", s),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+/// Lexes `src` into a token stream.
+///
+/// # Errors
+///
+/// Returns [`VlogError::Lex`] on unterminated strings or comments, malformed sized
+/// literals, or unexpected characters.
+pub fn lex(src: &str) -> VlogResult<Vec<Spanned>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> VlogError {
+        VlogError::Lex {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn run(mut self) -> VlogResult<Vec<Spanned>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else { break };
+            let token = if c.is_ascii_alphabetic() || c == '_' || c == '\\' {
+                self.lex_ident()?
+            } else if c == '$' {
+                self.bump();
+                let name = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
+                Token::SysIdent(name)
+            } else if c.is_ascii_digit() || (c == '\'' && self.peek2().map_or(false, |d| "bodhBODH".contains(d))) {
+                self.lex_number()?
+            } else if c == '"' {
+                self.lex_string()?
+            } else if c == '`' {
+                // Treat compiler directives / macro uses as identifiers prefixed with `.
+                self.bump();
+                let name = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
+                Token::Ident(format!("`{}", name))
+            } else {
+                self.lex_symbol()?
+            };
+            out.push(Spanned { token, line, col });
+        }
+        Ok(out)
+    }
+
+    fn skip_trivia(&mut self) -> VlogResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn lex_ident(&mut self) -> VlogResult<Token> {
+        if self.peek() == Some('\\') {
+            // Escaped identifier: backslash up to whitespace.
+            self.bump();
+            let name = self.take_while(|c| !c.is_whitespace());
+            return Ok(Token::Ident(name));
+        }
+        let name = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$');
+        Ok(Token::Ident(name))
+    }
+
+    fn lex_string(&mut self) -> VlogResult<Token> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    Some(c) => s.push(c),
+                    None => return Err(self.err("unterminated string")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+        Ok(Token::Str(s))
+    }
+
+    fn lex_number(&mut self) -> VlogResult<Token> {
+        // Optional size, then optional 'b/'o/'d/'h base, then digits.
+        let size_digits = self.take_while(|c| c.is_ascii_digit() || c == '_');
+        let explicit_size: Option<usize> = if size_digits.is_empty() {
+            None
+        } else {
+            Some(
+                size_digits
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| self.err("invalid literal size"))?,
+            )
+        };
+        if self.peek() == Some('\'') {
+            self.bump();
+            let base_ch = self
+                .bump()
+                .ok_or_else(|| self.err("missing base in sized literal"))?;
+            let base = match base_ch.to_ascii_lowercase() {
+                'b' => 2,
+                'o' => 8,
+                'd' => 10,
+                'h' => 16,
+                other => return Err(self.err(format!("invalid literal base '{}'", other))),
+            };
+            let digits = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
+            let width = explicit_size.unwrap_or(32);
+            let bits = Bits::parse_radix(width, base, &digits)
+                .ok_or_else(|| self.err(format!("invalid digits '{}' for base {}", digits, base)))?;
+            Ok(Token::Number(bits))
+        } else {
+            // Plain decimal literal: unsized, 32 bits.
+            let digits = size_digits.replace('_', "");
+            let bits = Bits::parse_radix(32, 10, &digits)
+                .ok_or_else(|| self.err("invalid decimal literal"))?;
+            Ok(Token::Number(bits))
+        }
+    }
+
+    fn lex_symbol(&mut self) -> VlogResult<Token> {
+        let c = self.bump().unwrap();
+        let sym = match c {
+            '(' => {
+                if self.peek() == Some('*') && self.peek2() != Some(')') {
+                    self.bump();
+                    Sym::AttrOpen
+                } else {
+                    Sym::LParen
+                }
+            }
+            ')' => Sym::RParen,
+            '[' => Sym::LBracket,
+            ']' => Sym::RBracket,
+            '{' => Sym::LBrace,
+            '}' => Sym::RBrace,
+            ';' => Sym::Semi,
+            ':' => Sym::Colon,
+            ',' => Sym::Comma,
+            '.' => Sym::Dot,
+            '#' => Sym::Hash,
+            '@' => Sym::At,
+            '?' => Sym::Question,
+            '+' => Sym::Plus,
+            '-' => Sym::Minus,
+            '*' => {
+                if self.peek() == Some(')') {
+                    self.bump();
+                    Sym::AttrClose
+                } else {
+                    Sym::Star
+                }
+            }
+            '/' => Sym::Slash,
+            '%' => Sym::Percent,
+            '~' => Sym::Tilde,
+            '^' => Sym::Caret,
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    Sym::AmpAmp
+                } else {
+                    Sym::Amp
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    Sym::PipePipe
+                } else {
+                    Sym::Pipe
+                }
+            }
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Sym::NotEq
+                } else {
+                    Sym::Bang
+                }
+            }
+            '=' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Sym::EqEq
+                } else {
+                    Sym::Assign
+                }
+            }
+            '<' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Sym::NonBlock
+                } else if self.peek() == Some('<') {
+                    self.bump();
+                    Sym::Shl
+                } else {
+                    Sym::Lt
+                }
+            }
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Sym::Ge
+                } else if self.peek() == Some('>') {
+                    self.bump();
+                    if self.peek() == Some('>') {
+                        self.bump();
+                        Sym::AShr
+                    } else {
+                        Sym::Shr
+                    }
+                } else {
+                    Sym::Gt
+                }
+            }
+            other => return Err(self.err(format!("unexpected character '{}'", other))),
+        };
+        let _ = self.src;
+        Ok(Token::Sym(sym))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_keywords() {
+        assert_eq!(
+            toks("module foo endmodule"),
+            vec![
+                Token::Ident("module".into()),
+                Token::Ident("foo".into()),
+                Token::Ident("endmodule".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_sized_literals() {
+        let t = toks("32'hdead_beef 8'b1010 4'd9 16'o17");
+        match &t[0] {
+            Token::Number(b) => {
+                assert_eq!(b.width(), 32);
+                assert_eq!(b.to_u64(), 0xdeadbeef);
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+        match &t[1] {
+            Token::Number(b) => assert_eq!((b.width(), b.to_u64()), (8, 0b1010)),
+            other => panic!("unexpected {:?}", other),
+        }
+        match &t[2] {
+            Token::Number(b) => assert_eq!((b.width(), b.to_u64()), (4, 9)),
+            other => panic!("unexpected {:?}", other),
+        }
+        match &t[3] {
+            Token::Number(b) => assert_eq!((b.width(), b.to_u64()), (16, 0o17)),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn lexes_unsized_decimal() {
+        match &toks("1234")[0] {
+            Token::Number(b) => assert_eq!((b.width(), b.to_u64()), (32, 1234)),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("a <= b >>> 2"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Sym(Sym::NonBlock),
+                Token::Ident("b".into()),
+                Token::Sym(Sym::AShr),
+                Token::Number(Bits::from_u64(32, 2)),
+            ]
+        );
+        assert_eq!(toks("&& || == != >="), vec![
+            Token::Sym(Sym::AmpAmp),
+            Token::Sym(Sym::PipePipe),
+            Token::Sym(Sym::EqEq),
+            Token::Sym(Sym::NotEq),
+            Token::Sym(Sym::Ge),
+        ]);
+    }
+
+    #[test]
+    fn lexes_attributes() {
+        assert_eq!(
+            toks("(* non_volatile *) reg"),
+            vec![
+                Token::Sym(Sym::AttrOpen),
+                Token::Ident("non_volatile".into()),
+                Token::Sym(Sym::AttrClose),
+                Token::Ident("reg".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            toks("a // line comment\n /* block\n comment */ b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            toks(r#""hello\nworld""#),
+            vec![Token::Str("hello\nworld".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_system_idents() {
+        assert_eq!(
+            toks("$display(sum)"),
+            vec![
+                Token::SysIdent("display".into()),
+                Token::Sym(Sym::LParen),
+                Token::Ident("sum".into()),
+                Token::Sym(Sym::RParen),
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_errors_with_position() {
+        let err = lex("a\n  \u{7}").unwrap_err();
+        let msg = format!("{}", err);
+        assert!(msg.contains("2:"), "error should mention line 2: {}", msg);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+    }
+}

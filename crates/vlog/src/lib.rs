@@ -1,0 +1,67 @@
+//! # synergy-vlog
+//!
+//! Verilog frontend for the SYNERGY FPGA-virtualization reproduction.
+//!
+//! This crate provides everything needed to go from Verilog source text to an
+//! elaborated, width-resolved design that the rest of the system (interpreter,
+//! compiler transformations, synthesis estimator) consumes:
+//!
+//! * [`Bits`] — arbitrary-width two-state values.
+//! * [`lexer`] and [`parser`] — source text to [`ast::SourceFile`].
+//! * [`ast`] — the syntax tree of the supported Verilog subset.
+//! * [`elaborate`] — module-hierarchy flattening, parameter folding, loop
+//!   unrolling and width resolution producing an [`elaborate::ElabModule`].
+//! * [`printer`] — turning ASTs back into Verilog text (used by the hypervisor
+//!   when coalescing sub-programs, §4.1 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use synergy_vlog::parse;
+//!
+//! let src = r#"
+//!     module Counter(input wire clock, output wire [7:0] out);
+//!         reg [7:0] count = 0;
+//!         always @(posedge clock) count <= count + 1;
+//!         assign out = count;
+//!     endmodule
+//! "#;
+//! let file = parse(src)?;
+//! assert_eq!(file.modules[0].name, "Counter");
+//! # Ok::<(), synergy_vlog::VlogError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod bits;
+pub mod elaborate;
+mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use bits::Bits;
+pub use error::{VlogError, VlogResult};
+
+/// Parses Verilog source text into a [`ast::SourceFile`].
+///
+/// # Errors
+///
+/// Returns a [`VlogError`] if the source cannot be lexed or parsed.
+pub fn parse(src: &str) -> VlogResult<ast::SourceFile> {
+    let tokens = lexer::lex(src)?;
+    parser::parse_tokens(&tokens)
+}
+
+/// Parses and elaborates Verilog source, returning the flattened design rooted at
+/// `top`.
+///
+/// # Errors
+///
+/// Returns a [`VlogError`] if parsing fails or the design cannot be elaborated
+/// (missing modules, unresolved names, non-constant loop bounds, ...).
+pub fn compile(src: &str, top: &str) -> VlogResult<elaborate::ElabModule> {
+    let file = parse(src)?;
+    elaborate::elaborate(&file, top)
+}

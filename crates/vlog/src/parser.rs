@@ -1,0 +1,1103 @@
+//! Recursive-descent parser for the Verilog subset.
+//!
+//! The grammar is the subset described in [`crate::ast`]. Operator precedence
+//! follows the Verilog standard (ternary lowest, then `||`, `&&`, `|`, `^`, `&`,
+//! equality, relational, shift, additive, multiplicative, unary).
+
+use crate::ast::*;
+use crate::error::{VlogError, VlogResult};
+use crate::lexer::{Spanned, Sym, Token};
+use crate::Bits;
+
+/// Parses a token stream (from [`crate::lexer::lex`]) into a [`SourceFile`].
+///
+/// # Errors
+///
+/// Returns [`VlogError::Parse`] describing the offending token and position.
+pub fn parse_tokens(tokens: &[Spanned]) -> VlogResult<SourceFile> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut modules = Vec::new();
+    while !p.at_end() {
+        modules.push(p.module()?);
+    }
+    Ok(SourceFile { modules })
+}
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + n).map(|s| &s.token)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos).map(|s| &s.token);
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> VlogError {
+        let (line, col) = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0));
+        VlogError::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn expect_sym(&mut self, sym: Sym) -> VlogResult<()> {
+        match self.peek() {
+            Some(Token::Sym(s)) if *s == sym => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {:?}, found {:?}", sym, other))),
+        }
+    }
+
+    fn eat_sym(&mut self, sym: Sym) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(s)) if *s == sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_sym(&self, sym: Sym) -> bool {
+        matches!(self.peek(), Some(Token::Sym(s)) if *s == sym)
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> VlogResult<()> {
+        match self.peek() {
+            Some(Token::Ident(s)) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected '{}', found {:?}", kw, other))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn ident(&mut self) -> VlogResult<String> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {:?}", other))),
+        }
+    }
+
+    // ------------------------------------------------------------------ modules
+
+    fn module(&mut self) -> VlogResult<Module> {
+        self.expect_keyword("module")?;
+        let name = self.ident()?;
+        let mut module = Module::new(name);
+        if self.eat_sym(Sym::LParen) {
+            if !self.at_sym(Sym::RParen) {
+                loop {
+                    let port = self.port()?;
+                    module.ports.push(port);
+                    if !self.eat_sym(Sym::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+        }
+        self.expect_sym(Sym::Semi)?;
+        while !self.at_keyword("endmodule") {
+            if self.at_end() {
+                return Err(self.err("unexpected end of file inside module"));
+            }
+            let items = self.item()?;
+            module.items.extend(items);
+        }
+        self.expect_keyword("endmodule")?;
+        Ok(module)
+    }
+
+    fn port(&mut self) -> VlogResult<Port> {
+        let dir = if self.eat_keyword("input") {
+            PortDir::Input
+        } else if self.eat_keyword("output") {
+            PortDir::Output
+        } else if self.eat_keyword("inout") {
+            PortDir::Inout
+        } else {
+            return Err(self.err("expected port direction"));
+        };
+        let is_reg = if self.eat_keyword("reg") {
+            true
+        } else {
+            self.eat_keyword("wire");
+            false
+        };
+        let range = self.opt_range()?;
+        let name = self.ident()?;
+        Ok(Port {
+            dir,
+            is_reg,
+            range,
+            name,
+        })
+    }
+
+    fn opt_range(&mut self) -> VlogResult<Option<Range>> {
+        if self.eat_sym(Sym::LBracket) {
+            let msb = self.expr()?;
+            self.expect_sym(Sym::Colon)?;
+            let lsb = self.expr()?;
+            self.expect_sym(Sym::RBracket)?;
+            Ok(Some(Range { msb, lsb }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // ------------------------------------------------------------------ items
+
+    fn attributes(&mut self) -> VlogResult<Vec<Attribute>> {
+        let mut attrs = Vec::new();
+        while self.eat_sym(Sym::AttrOpen) {
+            loop {
+                let name = self.ident()?;
+                let value = if self.eat_sym(Sym::Assign) {
+                    match self.bump().cloned() {
+                        Some(Token::Ident(s)) => Some(s),
+                        Some(Token::Str(s)) => Some(s),
+                        Some(Token::Number(b)) => Some(b.to_dec_string()),
+                        other => {
+                            return Err(self.err(format!("bad attribute value {:?}", other)))
+                        }
+                    }
+                } else {
+                    None
+                };
+                attrs.push(Attribute { name, value });
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::AttrClose)?;
+        }
+        Ok(attrs)
+    }
+
+    fn item(&mut self) -> VlogResult<Vec<Item>> {
+        let attributes = self.attributes()?;
+        if self.at_keyword("wire") || self.at_keyword("reg") || self.at_keyword("integer") {
+            return self.decl_item(attributes);
+        }
+        if self.at_keyword("parameter") || self.at_keyword("localparam") {
+            return self.param_item();
+        }
+        if self.eat_keyword("assign") {
+            let lhs = self.lvalue()?;
+            self.expect_sym(Sym::Assign)?;
+            let rhs = self.expr()?;
+            self.expect_sym(Sym::Semi)?;
+            return Ok(vec![Item::ContinuousAssign(Assign { lhs, rhs })]);
+        }
+        if self.eat_keyword("always") {
+            self.expect_sym(Sym::At)?;
+            let events = self.event_control()?;
+            let body = self.stmt()?;
+            return Ok(vec![Item::Always(AlwaysBlock { events, body })]);
+        }
+        if self.eat_keyword("initial") {
+            let body = self.stmt()?;
+            return Ok(vec![Item::Initial(body)]);
+        }
+        // Otherwise: module instantiation  `Type name ( ... ) ;`
+        if matches!(self.peek(), Some(Token::Ident(_)))
+            && matches!(self.peek_at(1), Some(Token::Ident(_)))
+        {
+            let module = self.ident()?;
+            let name = self.ident()?;
+            self.expect_sym(Sym::LParen)?;
+            let mut connections = Vec::new();
+            if !self.at_sym(Sym::RParen) {
+                loop {
+                    connections.push(self.connection()?);
+                    if !self.eat_sym(Sym::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_sym(Sym::RParen)?;
+            self.expect_sym(Sym::Semi)?;
+            return Ok(vec![Item::Instance(Instance {
+                module,
+                name,
+                connections,
+            })]);
+        }
+        Err(self.err(format!("unexpected token in module body: {:?}", self.peek())))
+    }
+
+    fn decl_item(&mut self, attributes: Vec<Attribute>) -> VlogResult<Vec<Item>> {
+        let kind = if self.eat_keyword("wire") {
+            NetKind::Wire
+        } else if self.eat_keyword("reg") {
+            NetKind::Reg
+        } else {
+            self.expect_keyword("integer")?;
+            NetKind::Integer
+        };
+        let range = self.opt_range()?;
+        let mut items = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let mem_range = self.opt_range()?;
+            let init = if self.eat_sym(Sym::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            items.push(Item::Decl(Decl {
+                attributes: attributes.clone(),
+                kind,
+                range: range.clone(),
+                name,
+                mem_range,
+                init,
+            }));
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_sym(Sym::Semi)?;
+        Ok(items)
+    }
+
+    fn param_item(&mut self) -> VlogResult<Vec<Item>> {
+        let local = self.eat_keyword("localparam");
+        if !local {
+            self.expect_keyword("parameter")?;
+        }
+        // Optional range on parameters is accepted and ignored.
+        let _ = self.opt_range()?;
+        let mut items = Vec::new();
+        loop {
+            let name = self.ident()?;
+            self.expect_sym(Sym::Assign)?;
+            let value = self.expr()?;
+            items.push(Item::Param(ParamDecl { local, name, value }));
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        self.expect_sym(Sym::Semi)?;
+        Ok(items)
+    }
+
+    fn connection(&mut self) -> VlogResult<Connection> {
+        if self.eat_sym(Sym::Dot) {
+            let port = self.ident()?;
+            self.expect_sym(Sym::LParen)?;
+            let expr = if self.at_sym(Sym::RParen) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_sym(Sym::RParen)?;
+            Ok(Connection {
+                port: Some(port),
+                expr,
+            })
+        } else {
+            let expr = self.expr()?;
+            Ok(Connection {
+                port: None,
+                expr: Some(expr),
+            })
+        }
+    }
+
+    fn event_control(&mut self) -> VlogResult<Vec<Event>> {
+        // `@*` or `@(*)` or `@(ev or ev or ...)` / `@(ev, ev)`
+        if self.eat_sym(Sym::Star) {
+            return Ok(Vec::new());
+        }
+        self.expect_sym(Sym::LParen)?;
+        if self.eat_sym(Sym::Star) {
+            self.expect_sym(Sym::RParen)?;
+            return Ok(Vec::new());
+        }
+        let mut events = Vec::new();
+        loop {
+            let edge = if self.eat_keyword("posedge") {
+                Edge::Pos
+            } else if self.eat_keyword("negedge") {
+                Edge::Neg
+            } else {
+                Edge::Any
+            };
+            let expr = self.expr()?;
+            events.push(Event { edge, expr });
+            if self.eat_keyword("or") || self.eat_sym(Sym::Comma) {
+                continue;
+            }
+            break;
+        }
+        self.expect_sym(Sym::RParen)?;
+        Ok(events)
+    }
+
+    // ------------------------------------------------------------------ statements
+
+    fn stmt(&mut self) -> VlogResult<Stmt> {
+        if self.eat_keyword("begin") {
+            let mut stmts = Vec::new();
+            // Optional block label `: name`
+            if self.eat_sym(Sym::Colon) {
+                let _ = self.ident()?;
+            }
+            while !self.at_keyword("end") {
+                if self.at_end() {
+                    return Err(self.err("unexpected end of file in begin/end block"));
+                }
+                stmts.push(self.stmt()?);
+            }
+            self.expect_keyword("end")?;
+            return Ok(Stmt::Block(stmts));
+        }
+        if self.eat_keyword("fork") {
+            let mut stmts = Vec::new();
+            while !self.at_keyword("join") {
+                if self.at_end() {
+                    return Err(self.err("unexpected end of file in fork/join block"));
+                }
+                stmts.push(self.stmt()?);
+            }
+            self.expect_keyword("join")?;
+            return Ok(Stmt::Fork(stmts));
+        }
+        if self.eat_keyword("if") {
+            self.expect_sym(Sym::LParen)?;
+            let cond = self.expr()?;
+            self.expect_sym(Sym::RParen)?;
+            let then = Box::new(self.stmt()?);
+            let other = if self.eat_keyword("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If { cond, then, other });
+        }
+        if self.eat_keyword("case") || self.at_keyword("casez") && self.eat_keyword("casez") {
+            self.expect_sym(Sym::LParen)?;
+            let expr = self.expr()?;
+            self.expect_sym(Sym::RParen)?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            while !self.at_keyword("endcase") {
+                if self.at_end() {
+                    return Err(self.err("unexpected end of file in case statement"));
+                }
+                if self.eat_keyword("default") {
+                    self.eat_sym(Sym::Colon);
+                    default = Some(Box::new(self.stmt()?));
+                    continue;
+                }
+                let mut labels = vec![self.expr()?];
+                while self.eat_sym(Sym::Comma) {
+                    labels.push(self.expr()?);
+                }
+                self.expect_sym(Sym::Colon)?;
+                let body = self.stmt()?;
+                arms.push(CaseArm { labels, body });
+            }
+            self.expect_keyword("endcase")?;
+            return Ok(Stmt::Case {
+                expr,
+                arms,
+                default,
+            });
+        }
+        if self.eat_keyword("for") {
+            self.expect_sym(Sym::LParen)?;
+            let init = self.plain_assign()?;
+            self.expect_sym(Sym::Semi)?;
+            let cond = self.expr()?;
+            self.expect_sym(Sym::Semi)?;
+            let step = self.plain_assign()?;
+            self.expect_sym(Sym::RParen)?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt::For {
+                init: Box::new(init),
+                cond,
+                step: Box::new(step),
+                body,
+            });
+        }
+        if self.eat_keyword("repeat") {
+            self.expect_sym(Sym::LParen)?;
+            let count = self.expr()?;
+            self.expect_sym(Sym::RParen)?;
+            let body = Box::new(self.stmt()?);
+            return Ok(Stmt::Repeat { count, body });
+        }
+        if let Some(Token::SysIdent(name)) = self.peek() {
+            let name = name.clone();
+            self.bump();
+            let kind = TaskKind::from_name(&name)
+                .ok_or_else(|| self.err(format!("unknown system task ${}", name)))?;
+            let mut args = Vec::new();
+            if self.eat_sym(Sym::LParen) {
+                if !self.at_sym(Sym::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_sym(Sym::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect_sym(Sym::RParen)?;
+            }
+            self.expect_sym(Sym::Semi)?;
+            return Ok(Stmt::SystemTask(SystemTask { kind, args }));
+        }
+        if self.eat_sym(Sym::Semi) {
+            return Ok(Stmt::Null);
+        }
+        // Blocking or non-blocking assignment.
+        let lhs = self.lvalue()?;
+        if self.eat_sym(Sym::NonBlock) {
+            let rhs = self.expr()?;
+            self.expect_sym(Sym::Semi)?;
+            Ok(Stmt::NonBlocking(Assign { lhs, rhs }))
+        } else if self.eat_sym(Sym::Assign) {
+            let rhs = self.expr()?;
+            self.expect_sym(Sym::Semi)?;
+            Ok(Stmt::Blocking(Assign { lhs, rhs }))
+        } else {
+            Err(self.err("expected '=' or '<=' in assignment"))
+        }
+    }
+
+    /// Parses `lhs = rhs` without the trailing semicolon (for-loop headers).
+    fn plain_assign(&mut self) -> VlogResult<Assign> {
+        let lhs = self.lvalue()?;
+        self.expect_sym(Sym::Assign)?;
+        let rhs = self.expr()?;
+        Ok(Assign { lhs, rhs })
+    }
+
+    fn lvalue(&mut self) -> VlogResult<LValue> {
+        if self.eat_sym(Sym::LBrace) {
+            let mut parts = Vec::new();
+            loop {
+                parts.push(self.lvalue()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Sym::RBrace)?;
+            return Ok(LValue::Concat(parts));
+        }
+        let name = self.ident()?;
+        if self.eat_sym(Sym::LBracket) {
+            let first = self.expr()?;
+            if self.eat_sym(Sym::Colon) {
+                let lsb = self.expr()?;
+                self.expect_sym(Sym::RBracket)?;
+                Ok(LValue::Slice(name, first, lsb))
+            } else {
+                self.expect_sym(Sym::RBracket)?;
+                Ok(LValue::Index(name, first))
+            }
+        } else {
+            Ok(LValue::Ident(name))
+        }
+    }
+
+    // ------------------------------------------------------------------ expressions
+
+    fn expr(&mut self) -> VlogResult<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> VlogResult<Expr> {
+        let cond = self.logical_or()?;
+        if self.eat_sym(Sym::Question) {
+            let then = self.ternary()?;
+            self.expect_sym(Sym::Colon)?;
+            let other = self.ternary()?;
+            Ok(Expr::Ternary(
+                Box::new(cond),
+                Box::new(then),
+                Box::new(other),
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logical_or(&mut self) -> VlogResult<Expr> {
+        let mut lhs = self.logical_and()?;
+        while self.eat_sym(Sym::PipePipe) {
+            let rhs = self.logical_and()?;
+            lhs = Expr::Binary(BinaryOp::LogicalOr, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> VlogResult<Expr> {
+        let mut lhs = self.bit_or()?;
+        while self.eat_sym(Sym::AmpAmp) {
+            let rhs = self.bit_or()?;
+            lhs = Expr::Binary(BinaryOp::LogicalAnd, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> VlogResult<Expr> {
+        let mut lhs = self.bit_xor()?;
+        while self.at_sym(Sym::Pipe) {
+            self.bump();
+            let rhs = self.bit_xor()?;
+            lhs = Expr::Binary(BinaryOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> VlogResult<Expr> {
+        let mut lhs = self.bit_and()?;
+        while self.at_sym(Sym::Caret) {
+            self.bump();
+            let rhs = self.bit_and()?;
+            lhs = Expr::Binary(BinaryOp::Xor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> VlogResult<Expr> {
+        let mut lhs = self.equality()?;
+        while self.at_sym(Sym::Amp) {
+            self.bump();
+            let rhs = self.equality()?;
+            lhs = Expr::Binary(BinaryOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> VlogResult<Expr> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = if self.eat_sym(Sym::EqEq) {
+                BinaryOp::Eq
+            } else if self.eat_sym(Sym::NotEq) {
+                BinaryOp::Ne
+            } else {
+                break;
+            };
+            let rhs = self.relational()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> VlogResult<Expr> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = if self.eat_sym(Sym::Lt) {
+                BinaryOp::Lt
+            } else if self.eat_sym(Sym::Gt) {
+                BinaryOp::Gt
+            } else if self.eat_sym(Sym::Ge) {
+                BinaryOp::Ge
+            } else if self.at_sym(Sym::NonBlock) {
+                // `<=` in expression position is less-than-or-equal.
+                self.bump();
+                BinaryOp::Le
+            } else {
+                break;
+            };
+            let rhs = self.shift()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self) -> VlogResult<Expr> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = if self.eat_sym(Sym::Shl) {
+                BinaryOp::Shl
+            } else if self.eat_sym(Sym::Shr) {
+                BinaryOp::Shr
+            } else if self.eat_sym(Sym::AShr) {
+                BinaryOp::AShr
+            } else {
+                break;
+            };
+            let rhs = self.additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> VlogResult<Expr> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = if self.eat_sym(Sym::Plus) {
+                BinaryOp::Add
+            } else if self.eat_sym(Sym::Minus) {
+                BinaryOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> VlogResult<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat_sym(Sym::Star) {
+                BinaryOp::Mul
+            } else if self.eat_sym(Sym::Slash) {
+                BinaryOp::Div
+            } else if self.eat_sym(Sym::Percent) {
+                BinaryOp::Rem
+            } else {
+                break;
+            };
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> VlogResult<Expr> {
+        let op = if self.eat_sym(Sym::Tilde) {
+            Some(UnaryOp::Not)
+        } else if self.eat_sym(Sym::Bang) {
+            Some(UnaryOp::LogicalNot)
+        } else if self.eat_sym(Sym::Minus) {
+            Some(UnaryOp::Neg)
+        } else if self.eat_sym(Sym::Plus) {
+            Some(UnaryOp::Plus)
+        } else if self.at_sym(Sym::Amp) && !matches!(self.peek_at(1), Some(Token::Sym(Sym::Amp))) {
+            self.bump();
+            Some(UnaryOp::ReduceAnd)
+        } else if self.at_sym(Sym::Pipe) && !matches!(self.peek_at(1), Some(Token::Sym(Sym::Pipe))) {
+            self.bump();
+            Some(UnaryOp::ReduceOr)
+        } else if self.at_sym(Sym::Caret) {
+            self.bump();
+            Some(UnaryOp::ReduceXor)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            let operand = self.unary()?;
+            return Ok(Expr::Unary(op, Box::new(operand)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> VlogResult<Expr> {
+        let mut e = self.primary()?;
+        while self.eat_sym(Sym::LBracket) {
+            let first = self.expr()?;
+            if self.eat_sym(Sym::Colon) {
+                let lsb = self.expr()?;
+                self.expect_sym(Sym::RBracket)?;
+                e = Expr::Slice(Box::new(e), Box::new(first), Box::new(lsb));
+            } else {
+                self.expect_sym(Sym::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(first));
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> VlogResult<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Number(b)) => {
+                self.bump();
+                Ok(Expr::Literal(b))
+            }
+            Some(Token::Str(s)) => {
+                self.bump();
+                Ok(Expr::StringLit(s))
+            }
+            Some(Token::Ident(name)) => {
+                self.bump();
+                if name.starts_with('`') {
+                    // Macro constants are resolved during elaboration; keep as ident.
+                    return Ok(Expr::Ident(name));
+                }
+                Ok(Expr::Ident(name))
+            }
+            Some(Token::SysIdent(name)) => {
+                self.bump();
+                let kind = TaskKind::from_name(&name)
+                    .ok_or_else(|| self.err(format!("unknown system function ${}", name)))?;
+                let mut args = Vec::new();
+                if self.eat_sym(Sym::LParen) {
+                    if !self.at_sym(Sym::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_sym(Sym::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(Sym::RParen)?;
+                }
+                Ok(Expr::SystemCall(kind, args))
+            }
+            Some(Token::Sym(Sym::LParen)) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Sym(Sym::LBrace)) => {
+                self.bump();
+                let first = self.expr()?;
+                // Replication: `{n{expr}}`
+                if self.at_sym(Sym::LBrace) {
+                    self.bump();
+                    let inner = self.expr()?;
+                    self.expect_sym(Sym::RBrace)?;
+                    self.expect_sym(Sym::RBrace)?;
+                    return Ok(Expr::Replicate(Box::new(first), Box::new(inner)));
+                }
+                let mut parts = vec![first];
+                while self.eat_sym(Sym::Comma) {
+                    parts.push(self.expr()?);
+                }
+                self.expect_sym(Sym::RBrace)?;
+                Ok(Expr::Concat(parts))
+            }
+            other => Err(self.err(format!("unexpected token in expression: {:?}", other))),
+        }
+    }
+}
+
+/// Parses a standalone constant expression (used in tests and tools).
+///
+/// # Errors
+///
+/// Returns a [`VlogError`] if the text is not a valid expression.
+pub fn parse_expr(src: &str) -> VlogResult<Expr> {
+    let tokens = crate::lexer::lex(src)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+    };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after expression"));
+    }
+    Ok(e)
+}
+
+/// Evaluates a constant expression containing only literals.
+///
+/// Identifiers are resolved through `lookup`; returns `None` if any identifier is
+/// unknown or a non-constant construct is used.
+pub fn const_eval(expr: &Expr, lookup: &dyn Fn(&str) -> Option<Bits>) -> Option<Bits> {
+    match expr {
+        Expr::Literal(b) => Some(b.clone()),
+        Expr::Ident(n) => lookup(n),
+        Expr::Unary(op, a) => {
+            let a = const_eval(a, lookup)?;
+            Some(match op {
+                UnaryOp::Not => a.not(),
+                UnaryOp::LogicalNot => Bits::from_bool(!a.to_bool()),
+                UnaryOp::Neg => a.neg(),
+                UnaryOp::Plus => a,
+                UnaryOp::ReduceAnd => Bits::from_bool(a.reduce_and()),
+                UnaryOp::ReduceOr => Bits::from_bool(a.reduce_or()),
+                UnaryOp::ReduceXor => Bits::from_bool(a.reduce_xor()),
+            })
+        }
+        Expr::Binary(op, a, b) => {
+            let a = const_eval(a, lookup)?;
+            let b = const_eval(b, lookup)?;
+            Some(match op {
+                BinaryOp::Add => a.add(&b),
+                BinaryOp::Sub => a.sub(&b),
+                BinaryOp::Mul => a.mul(&b),
+                BinaryOp::Div => a.div(&b),
+                BinaryOp::Rem => a.rem(&b),
+                BinaryOp::And => a.and(&b),
+                BinaryOp::Or => a.or(&b),
+                BinaryOp::Xor => a.xor(&b),
+                BinaryOp::Shl => a.shl(b.to_u64() as usize),
+                BinaryOp::Shr => a.shr(b.to_u64() as usize),
+                BinaryOp::AShr => a.ashr(b.to_u64() as usize),
+                BinaryOp::LogicalAnd => Bits::from_bool(a.to_bool() && b.to_bool()),
+                BinaryOp::LogicalOr => Bits::from_bool(a.to_bool() || b.to_bool()),
+                BinaryOp::Eq => Bits::from_bool(a.ucmp(&b) == std::cmp::Ordering::Equal),
+                BinaryOp::Ne => Bits::from_bool(a.ucmp(&b) != std::cmp::Ordering::Equal),
+                BinaryOp::Lt => Bits::from_bool(a.ucmp(&b) == std::cmp::Ordering::Less),
+                BinaryOp::Le => Bits::from_bool(a.ucmp(&b) != std::cmp::Ordering::Greater),
+                BinaryOp::Gt => Bits::from_bool(a.ucmp(&b) == std::cmp::Ordering::Greater),
+                BinaryOp::Ge => Bits::from_bool(a.ucmp(&b) != std::cmp::Ordering::Less),
+            })
+        }
+        Expr::Ternary(c, a, b) => {
+            let c = const_eval(c, lookup)?;
+            if c.to_bool() {
+                const_eval(a, lookup)
+            } else {
+                const_eval(b, lookup)
+            }
+        }
+        Expr::Concat(parts) => {
+            let mut acc: Option<Bits> = None;
+            for p in parts {
+                let v = const_eval(p, lookup)?;
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => a.concat(&v),
+                });
+            }
+            acc
+        }
+        Expr::Replicate(n, e) => {
+            let n = const_eval(n, lookup)?.to_u64() as usize;
+            let v = const_eval(e, lookup)?;
+            Some(v.replicate(n))
+        }
+        Expr::Slice(e, hi, lo) => {
+            let v = const_eval(e, lookup)?;
+            let hi = const_eval(hi, lookup)?.to_u64() as usize;
+            let lo = const_eval(lo, lookup)?.to_u64() as usize;
+            Some(v.slice(hi, lo))
+        }
+        Expr::Index(e, i) => {
+            let v = const_eval(e, lookup)?;
+            let i = const_eval(i, lookup)?.to_u64() as usize;
+            Some(Bits::from_bool(v.bit(i)))
+        }
+        Expr::StringLit(_) | Expr::SystemCall(_, _) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn parses_simple_module() {
+        let src = r#"
+            module Counter(input wire clock, output wire [7:0] out);
+                reg [7:0] count = 0;
+                always @(posedge clock) count <= count + 1;
+                assign out = count;
+            endmodule
+        "#;
+        let file = parse(src).unwrap();
+        assert_eq!(file.modules.len(), 1);
+        let m = &file.modules[0];
+        assert_eq!(m.name, "Counter");
+        assert_eq!(m.ports.len(), 2);
+        assert_eq!(m.ports[1].dir, PortDir::Output);
+        assert_eq!(m.items.len(), 3);
+    }
+
+    #[test]
+    fn parses_figure_1_example() {
+        // The example from Figure 1 of the paper (minus the undefined SubModule).
+        let src = r#"
+            module Module(input wire clock, output wire [31:0] res);
+                wire [31:0] x = 1, y = x + 1;
+                reg [63:0] r = 0;
+                always @(posedge clock) begin
+                    $display(r);
+                    r = y;
+                    $display(r);
+                    r <= 3;
+                    $display(r);
+                end
+                always @(posedge clock) fork
+                    $display(r);
+                join
+                assign res = r[47:16] & 32'hf0f0f0f0;
+            endmodule
+        "#;
+        let file = parse(src).unwrap();
+        let m = &file.modules[0];
+        let always_count = m
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Always(_)))
+            .count();
+        assert_eq!(always_count, 2);
+    }
+
+    #[test]
+    fn parses_file_io_example() {
+        // Figure 2 of the paper.
+        let src = r#"
+            module M(input wire clock);
+                integer fd = $fopen("path/to/file");
+                reg [31:0] r = 0;
+                reg [127:0] sum = 0;
+                always @(posedge clock) begin
+                    $fread(fd, r);
+                    if ($feof(fd)) begin
+                        $display(sum);
+                        $finish(0);
+                    end else
+                        sum <= sum + r;
+                end
+            endmodule
+        "#;
+        let file = parse(src).unwrap();
+        let m = &file.modules[0];
+        assert!(m.items.iter().any(|i| matches!(i, Item::Always(b) if b.body.contains_system_task())));
+    }
+
+    #[test]
+    fn parses_instances() {
+        let src = r#"
+            module Top(input wire clock);
+                wire [7:0] v;
+                Sub s(.clock(clock), .value(v));
+                Sub2 t(clock, v);
+            endmodule
+        "#;
+        let file = parse(src).unwrap();
+        let instances: Vec<_> = file.modules[0]
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Instance(inst) => Some(inst),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(instances.len(), 2);
+        assert_eq!(instances[0].connections[0].port.as_deref(), Some("clock"));
+        assert!(instances[1].connections[0].port.is_none());
+    }
+
+    #[test]
+    fn parses_case_and_for() {
+        let src = r#"
+            module M(input wire clock);
+                reg [3:0] s = 0;
+                integer i = 0;
+                reg [7:0] mem [0:15];
+                always @(posedge clock) begin
+                    case (s)
+                        0: s <= 1;
+                        1, 2: s <= 3;
+                        default: s <= 0;
+                    endcase
+                    for (i = 0; i < 16; i = i + 1)
+                        mem[i] <= 0;
+                    repeat (4) s <= s + 1;
+                end
+            endmodule
+        "#;
+        let file = parse(src).unwrap();
+        assert_eq!(file.modules[0].name, "M");
+    }
+
+    #[test]
+    fn parses_attributes_on_decls() {
+        let src = r#"
+            module Root(input wire clock);
+                (* non_volatile *) reg [31:0] x = 0;
+                reg [31:0] y = 0;
+                always @(posedge clock) if (x > 10) $yield;
+            endmodule
+        "#;
+        let file = parse(src).unwrap();
+        let decls: Vec<_> = file.modules[0]
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Decl(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(decls[0].attributes[0].name, "non_volatile");
+        assert!(decls[1].attributes.is_empty());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        let v = const_eval(&e, &|_| None).unwrap();
+        assert_eq!(v.to_u64(), 7);
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(const_eval(&e, &|_| None).unwrap().to_u64(), 9);
+        let e = parse_expr("1 << 4 | 1").unwrap();
+        assert_eq!(const_eval(&e, &|_| None).unwrap().to_u64(), 17);
+        let e = parse_expr("2 < 3 ? 10 : 20").unwrap();
+        assert_eq!(const_eval(&e, &|_| None).unwrap().to_u64(), 10);
+    }
+
+    #[test]
+    fn const_eval_concat_and_replicate() {
+        let e = parse_expr("{4'hA, 4'h5}").unwrap();
+        assert_eq!(const_eval(&e, &|_| None).unwrap().to_u64(), 0xa5);
+        let e = parse_expr("{4{2'b10}}").unwrap();
+        assert_eq!(const_eval(&e, &|_| None).unwrap().to_u64(), 0xaa);
+    }
+
+    #[test]
+    fn const_eval_slice_and_index() {
+        let e = parse_expr("8'hab[7:4]").unwrap();
+        assert_eq!(const_eval(&e, &|_| None).unwrap().to_u64(), 0xa);
+        let e = parse_expr("8'h80[7]").unwrap();
+        assert_eq!(const_eval(&e, &|_| None).unwrap().to_u64(), 1);
+    }
+
+    #[test]
+    fn reports_parse_error_position() {
+        let err = parse("module M(; endmodule").unwrap_err();
+        assert!(matches!(err, VlogError::Parse { .. }));
+    }
+
+    #[test]
+    fn reduction_vs_binary_ops() {
+        let e = parse_expr("&4'hF").unwrap();
+        assert_eq!(const_eval(&e, &|_| None).unwrap().to_u64(), 1);
+        let e = parse_expr("4'hF & 4'h3").unwrap();
+        assert_eq!(const_eval(&e, &|_| None).unwrap().to_u64(), 3);
+    }
+}

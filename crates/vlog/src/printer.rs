@@ -1,0 +1,373 @@
+//! Pretty-printer: turns ASTs back into Verilog source text.
+//!
+//! The SYNERGY hypervisor coalesces sub-programs by concatenating their *source
+//! text* into a single monolithic program (§4.1 of the paper). This module provides
+//! the emission side of that path, and is also used in tests to round-trip
+//! transformed designs through the parser.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole source file.
+pub fn print_file(file: &SourceFile) -> String {
+    file.modules.iter().map(print_module).collect::<Vec<_>>().join("\n")
+}
+
+/// Renders a single module declaration.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let ports = m
+        .ports
+        .iter()
+        .map(|p| {
+            let range = p
+                .range
+                .as_ref()
+                .map(|r| format!(" [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb)))
+                .unwrap_or_default();
+            format!(
+                "{} {}{} {}",
+                p.dir,
+                if p.is_reg { "reg" } else { "wire" },
+                range,
+                p.name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "module {}({});", m.name, ports);
+    for item in &m.items {
+        out.push_str(&print_item(item, 1));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+fn indent(level: usize) -> String {
+    "  ".repeat(level)
+}
+
+fn print_item(item: &Item, level: usize) -> String {
+    let pad = indent(level);
+    match item {
+        Item::Decl(d) => {
+            let attrs = if d.attributes.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "(* {} *) ",
+                    d.attributes
+                        .iter()
+                        .map(|a| a.name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            let range = d
+                .range
+                .as_ref()
+                .map(|r| format!(" [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb)))
+                .unwrap_or_default();
+            let mem = d
+                .mem_range
+                .as_ref()
+                .map(|r| format!(" [{}:{}]", print_expr(&r.msb), print_expr(&r.lsb)))
+                .unwrap_or_default();
+            let init = d
+                .init
+                .as_ref()
+                .map(|e| format!(" = {}", print_expr(e)))
+                .unwrap_or_default();
+            format!("{}{}{}{} {}{}{};\n", pad, attrs, d.kind, range, d.name, mem, init)
+        }
+        Item::Param(p) => format!(
+            "{}{} {} = {};\n",
+            pad,
+            if p.local { "localparam" } else { "parameter" },
+            p.name,
+            print_expr(&p.value)
+        ),
+        Item::ContinuousAssign(a) => format!(
+            "{}assign {} = {};\n",
+            pad,
+            print_lvalue(&a.lhs),
+            print_expr(&a.rhs)
+        ),
+        Item::Always(b) => {
+            let events = if b.events.is_empty() {
+                "*".to_string()
+            } else {
+                format!(
+                    "({})",
+                    b.events
+                        .iter()
+                        .map(|e| match e.edge {
+                            Edge::Pos => format!("posedge {}", print_expr(&e.expr)),
+                            Edge::Neg => format!("negedge {}", print_expr(&e.expr)),
+                            Edge::Any => print_expr(&e.expr),
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" or ")
+                )
+            };
+            format!("{}always @{}\n{}", pad, events, print_stmt(&b.body, level + 1))
+        }
+        Item::Initial(s) => format!("{}initial\n{}", pad, print_stmt(s, level + 1)),
+        Item::Instance(i) => {
+            let conns = i
+                .connections
+                .iter()
+                .map(|c| match (&c.port, &c.expr) {
+                    (Some(p), Some(e)) => format!(".{}({})", p, print_expr(e)),
+                    (Some(p), None) => format!(".{}()", p),
+                    (None, Some(e)) => print_expr(e),
+                    (None, None) => String::new(),
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{}{} {}({});\n", pad, i.module, i.name, conns)
+        }
+    }
+}
+
+/// Renders a statement at the given indentation level.
+pub fn print_stmt(stmt: &Stmt, level: usize) -> String {
+    let pad = indent(level);
+    match stmt {
+        Stmt::Block(stmts) => {
+            let mut out = format!("{}begin\n", pad);
+            for s in stmts {
+                out.push_str(&print_stmt(s, level + 1));
+            }
+            let _ = writeln!(out, "{}end", pad);
+            out
+        }
+        Stmt::Fork(stmts) => {
+            let mut out = format!("{}fork\n", pad);
+            for s in stmts {
+                out.push_str(&print_stmt(s, level + 1));
+            }
+            let _ = writeln!(out, "{}join", pad);
+            out
+        }
+        Stmt::Blocking(a) => format!("{}{} = {};\n", pad, print_lvalue(&a.lhs), print_expr(&a.rhs)),
+        Stmt::NonBlocking(a) => {
+            format!("{}{} <= {};\n", pad, print_lvalue(&a.lhs), print_expr(&a.rhs))
+        }
+        Stmt::If { cond, then, other } => {
+            let mut out = format!("{}if ({})\n{}", pad, print_expr(cond), print_stmt(then, level + 1));
+            if let Some(e) = other {
+                let _ = writeln!(out, "{}else", pad);
+                out.push_str(&print_stmt(e, level + 1));
+            }
+            out
+        }
+        Stmt::Case {
+            expr,
+            arms,
+            default,
+        } => {
+            let mut out = format!("{}case ({})\n", pad, print_expr(expr));
+            for arm in arms {
+                let labels = arm
+                    .labels
+                    .iter()
+                    .map(print_expr)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "{}  {}:", pad, labels);
+                out.push_str(&print_stmt(&arm.body, level + 2));
+            }
+            if let Some(d) = default {
+                let _ = writeln!(out, "{}  default:", pad);
+                out.push_str(&print_stmt(d, level + 2));
+            }
+            let _ = writeln!(out, "{}endcase", pad);
+            out
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            format!(
+                "{}for ({} = {}; {}; {} = {})\n{}",
+                pad,
+                print_lvalue(&init.lhs),
+                print_expr(&init.rhs),
+                print_expr(cond),
+                print_lvalue(&step.lhs),
+                print_expr(&step.rhs),
+                print_stmt(body, level + 1)
+            )
+        }
+        Stmt::Repeat { count, body } => format!(
+            "{}repeat ({})\n{}",
+            pad,
+            print_expr(count),
+            print_stmt(body, level + 1)
+        ),
+        Stmt::SystemTask(t) => {
+            if t.args.is_empty() {
+                format!("{}{};\n", pad, t.kind)
+            } else {
+                format!(
+                    "{}{}({});\n",
+                    pad,
+                    t.kind,
+                    t.args.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+                )
+            }
+        }
+        Stmt::Null => format!("{};\n", pad),
+    }
+}
+
+/// Renders an lvalue.
+pub fn print_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Ident(n) => n.clone(),
+        LValue::Index(n, e) => format!("{}[{}]", n, print_expr(e)),
+        LValue::Slice(n, a, b) => format!("{}[{}:{}]", n, print_expr(a), print_expr(b)),
+        LValue::Concat(parts) => format!(
+            "{{{}}}",
+            parts.iter().map(print_lvalue).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+/// Renders an expression with full parenthesisation (safe but verbose).
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Literal(b) => format!("{}'h{}", b.width(), b.to_hex_string()),
+        Expr::StringLit(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Expr::Ident(n) => n.clone(),
+        Expr::Index(e, i) => format!("{}[{}]", print_expr(e), print_expr(i)),
+        Expr::Slice(e, a, b) => format!("{}[{}:{}]", print_expr(e), print_expr(a), print_expr(b)),
+        Expr::Unary(op, a) => {
+            let op = match op {
+                UnaryOp::Not => "~",
+                UnaryOp::LogicalNot => "!",
+                UnaryOp::Neg => "-",
+                UnaryOp::Plus => "+",
+                UnaryOp::ReduceAnd => "&",
+                UnaryOp::ReduceOr => "|",
+                UnaryOp::ReduceXor => "^",
+            };
+            format!("({}{})", op, print_expr(a))
+        }
+        Expr::Binary(op, a, b) => {
+            let op = match op {
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::Div => "/",
+                BinaryOp::Rem => "%",
+                BinaryOp::And => "&",
+                BinaryOp::Or => "|",
+                BinaryOp::Xor => "^",
+                BinaryOp::LogicalAnd => "&&",
+                BinaryOp::LogicalOr => "||",
+                BinaryOp::Shl => "<<",
+                BinaryOp::Shr => ">>",
+                BinaryOp::AShr => ">>>",
+                BinaryOp::Eq => "==",
+                BinaryOp::Ne => "!=",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+            };
+            format!("({} {} {})", print_expr(a), op, print_expr(b))
+        }
+        Expr::Ternary(c, a, b) => format!(
+            "({} ? {} : {})",
+            print_expr(c),
+            print_expr(a),
+            print_expr(b)
+        ),
+        Expr::Concat(parts) => format!(
+            "{{{}}}",
+            parts.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Replicate(n, e) => format!("{{{}{{{}}}}}", print_expr(n), print_expr(e)),
+        Expr::SystemCall(kind, args) => {
+            if args.is_empty() {
+                format!("{}", kind)
+            } else {
+                format!(
+                    "{}({})",
+                    kind,
+                    args.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn round_trips_counter_module() {
+        let src = r#"
+            module Counter(input wire clock, output wire [7:0] out);
+                reg [7:0] count = 0;
+                always @(posedge clock) count <= count + 1;
+                assign out = count;
+            endmodule
+        "#;
+        let file = parse(src).unwrap();
+        let printed = print_file(&file);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(file.modules[0].name, reparsed.modules[0].name);
+        assert_eq!(file.modules[0].items.len(), reparsed.modules[0].items.len());
+    }
+
+    #[test]
+    fn round_trips_control_flow() {
+        let src = r#"
+            module M(input wire clock);
+                reg [3:0] s = 0;
+                reg [7:0] mem [0:15];
+                integer i = 0;
+                always @(posedge clock) begin
+                    if (s == 0) s <= 1; else s <= 0;
+                    case (s)
+                        1: mem[0] <= 8'hff;
+                        default: mem[1] <= 0;
+                    endcase
+                    for (i = 0; i < 4; i = i + 1) mem[i] <= i;
+                    $display("s=", s);
+                end
+            endmodule
+        "#;
+        let file = parse(src).unwrap();
+        let printed = print_file(&file);
+        let reparsed = parse(&printed).unwrap();
+        let printed2 = print_file(&reparsed);
+        assert_eq!(printed, printed2, "printer should be a fixed point after one round trip");
+    }
+
+    #[test]
+    fn prints_expressions() {
+        let e = crate::parser::parse_expr("a + b * 2").unwrap();
+        assert_eq!(print_expr(&e), "(a + (b * 32'h00000002))");
+        let e = crate::parser::parse_expr("c ? a : b").unwrap();
+        assert_eq!(print_expr(&e), "(c ? a : b)");
+        let e = crate::parser::parse_expr("{a, b}").unwrap();
+        assert_eq!(print_expr(&e), "{a, b}");
+    }
+
+    #[test]
+    fn replication_round_trips_through_parser() {
+        let e = crate::parser::parse_expr("{4{2'b10}}").unwrap();
+        let printed = print_expr(&e);
+        let reparsed = crate::parser::parse_expr(&printed).unwrap();
+        let v = crate::parser::const_eval(&reparsed, &|_| None).unwrap();
+        assert_eq!(v.to_u64(), 0xaa);
+    }
+}

@@ -1,0 +1,577 @@
+//! The six evaluation benchmarks of Table 1, written in the SYNERGY Verilog subset.
+//!
+//! | Name      | Description                                     | Style     |
+//! |-----------|-------------------------------------------------|-----------|
+//! | `adpcm`   | Pulse-code modulation encoder/decoder           | batch     |
+//! | `bitcoin` | Bitcoin mining accelerator                      | batch     |
+//! | `df`      | Double-precision arithmetic circuits            | batch     |
+//! | `mips32`  | Bubble-sort on a 32-bit MIPS-style processor    | batch     |
+//! | `nw`      | DNA sequence alignment                          | streaming |
+//! | `regex`   | Streaming regular expression matcher            | streaming |
+//!
+//! Each benchmark has two source variants: the default, in which every register is
+//! treated as `non_volatile` and captured transparently by SYNERGY, and a
+//! *quiescent* variant that asserts `$yield` and annotates only its live state
+//! `(* non_volatile *)`, modelling the §5.3/§6.3 experiments. See `DESIGN.md` for
+//! the documented simplifications (reduced-round hashing, integer stand-ins for
+//! IEEE-754 datapaths, microprogrammed MIPS datapath).
+
+use serde::{Deserialize, Serialize};
+
+/// Batch or streaming computation (Table 1 marks streaming workloads with a star).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Style {
+    /// Reads a small input then computes for a long time.
+    Batch,
+    /// Streams data from an OS-managed file through `$fread`.
+    Streaming,
+}
+
+/// One benchmark: its source code, metadata, and workload description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// Short name used throughout the paper (`bitcoin`, `nw`, ...).
+    pub name: String,
+    /// One-line description from Table 1.
+    pub description: String,
+    /// Batch or streaming.
+    pub style: Style,
+    /// Verilog source (transparent state-capture variant).
+    pub source: String,
+    /// Verilog source of the quiescent (`$yield`) variant.
+    pub quiescent_source: String,
+    /// Top module name.
+    pub top: String,
+    /// Clock input name.
+    pub clock: String,
+    /// Input file path the program `$fopen`s, if it is a streaming benchmark.
+    pub input_path: Option<String>,
+    /// Variable that counts completed work units.
+    pub metric_var: String,
+    /// Unit of the work counter (`hashes`, `instructions`, `reads`, ...).
+    pub metric_unit: String,
+}
+
+impl Benchmark {
+    /// Source text for the requested state-capture mode.
+    pub fn source_for(&self, quiescent: bool) -> &str {
+        if quiescent {
+            &self.quiescent_source
+        } else {
+            &self.source
+        }
+    }
+}
+
+/// Returns all six benchmarks in Table 1 order.
+pub fn all() -> Vec<Benchmark> {
+    vec![adpcm(), bitcoin(), df(), mips32(), nw(), regex()]
+}
+
+/// Looks up a benchmark by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+/// Generates the input data stream for a streaming benchmark (deterministic, so
+/// experiments are reproducible).
+pub fn input_data(name: &str, len: usize) -> Vec<u64> {
+    let mut state = 0x1234_5678_9abc_def0u64 ^ (name.len() as u64).wrapping_mul(0x9e37_79b9);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    match name {
+        // Characters drawn mostly from {a, b, c} plus some noise.
+        "regex" => (0..len)
+            .map(|_| {
+                let r = next() % 5;
+                match r {
+                    0 => 97, // 'a'
+                    1 => 98, // 'b'
+                    2 => 99, // 'c'
+                    3 => 120,
+                    _ => 32,
+                }
+            })
+            .collect(),
+        // Pairs of packed 8-base DNA sequences (two words per record).
+        "nw" => (0..len)
+            .map(|_| {
+                let mut word = 0u64;
+                for i in 0..8 {
+                    let base = match next() % 4 {
+                        0 => b'A',
+                        1 => b'C',
+                        2 => b'G',
+                        _ => b'T',
+                    } as u64;
+                    word |= base << (i * 8);
+                }
+                word
+            })
+            .collect(),
+        // 16-bit audio-like samples (a wandering waveform).
+        "adpcm" => {
+            let mut level = 2_000i64;
+            (0..len)
+                .map(|_| {
+                    let delta = (next() % 601) as i64 - 300;
+                    level = (level + delta).clamp(0, 65_000);
+                    level as u64
+                })
+                .collect()
+        }
+        _ => (0..len).map(|_| next()).collect(),
+    }
+}
+
+// --------------------------------------------------------------------- bitcoin
+
+/// The Bitcoin mining accelerator: combines block data with a nonce, applies a
+/// reduced-round SHA-256-style mixing function, and loops until a hash falls under
+/// the target (§6.1).
+pub fn bitcoin() -> Benchmark {
+    Benchmark {
+        name: "bitcoin".into(),
+        description: "Bitcoin mining accelerator".into(),
+        style: Style::Batch,
+        source: bitcoin_source(false),
+        quiescent_source: bitcoin_source(true),
+        top: "Bitcoin".into(),
+        clock: "clock".into(),
+        input_path: None,
+        metric_var: "hashes_lo".into(),
+        metric_unit: "hashes".into(),
+    }
+}
+
+fn bitcoin_source(quiesce: bool) -> String {
+    let nv = if quiesce { "(* non_volatile *) " } else { "" };
+    let yield_stmt = if quiesce {
+        "$yield;"
+    } else {
+        ";"
+    };
+    format!(
+        r#"module Bitcoin(input wire clock, output wire [31:0] hashes_lo, output wire found);
+    {nv}reg [31:0] nonce = 0;
+    {nv}reg [63:0] hashes = 0;
+    {nv}reg [0:0] done = 0;
+    reg [31:0] target = 32'h0000000f;
+    reg [31:0] block0 = 32'h12345678;
+    reg [31:0] block1 = 32'h9abcdef0;
+    reg [31:0] a = 0;
+    reg [31:0] b = 0;
+    reg [31:0] c = 0;
+    reg [31:0] d = 0;
+    reg [31:0] h = 0;
+    always @(posedge clock) begin
+        {yield_stmt}
+        if (!done) begin
+            a = block0 ^ nonce;
+            b = block1 + nonce;
+            c = (a >> 7) ^ (a << 3) ^ b;
+            d = (b >> 11) ^ (b << 5) ^ a;
+            h = (c + d) ^ ((c << 13) | (d >> 13));
+            h = h + ((h >> 17) ^ (h << 2));
+            h = h ^ (h >> 9);
+            hashes <= hashes + 1;
+            nonce <= nonce + 1;
+            if (h < target) done <= 1;
+        end
+    end
+    assign hashes_lo = hashes[31:0];
+    assign found = done;
+endmodule
+"#
+    )
+}
+
+// --------------------------------------------------------------------- mips32
+
+/// A 32-bit MIPS-style processor (register file, datapath, on-chip data memory)
+/// that repeatedly randomises and bubble-sorts an in-memory array (§6.1). The
+/// instruction fetch/decode stages are microprogrammed as a phase machine; the
+/// architectural state (PC, register file, data memory, retired-instruction
+/// counter) matches what the paper's migration experiment exercises.
+pub fn mips32() -> Benchmark {
+    Benchmark {
+        name: "mips32".into(),
+        description: "Bubble-sort on a 32-bit MIPS processor".into(),
+        style: Style::Batch,
+        source: mips32_source(false),
+        quiescent_source: mips32_source(true),
+        top: "Mips32".into(),
+        clock: "clock".into(),
+        input_path: None,
+        metric_var: "instret_lo".into(),
+        metric_unit: "instructions".into(),
+    }
+}
+
+fn mips32_source(quiesce: bool) -> String {
+    let nv = if quiesce { "(* non_volatile *) " } else { "" };
+    let yield_stmt = if quiesce {
+        "$yield;"
+    } else {
+        ";"
+    };
+    format!(
+        r#"module Mips32(input wire clock, output wire [31:0] instret_lo, output wire [31:0] runs_out);
+    reg [31:0] dmem [0:63];
+    reg [31:0] regs [0:31];
+    {nv}reg [31:0] pc = 0;
+    {nv}reg [63:0] instret = 0;
+    {nv}reg [31:0] runs = 0;
+    reg [31:0] i = 0;
+    reg [31:0] j = 0;
+    reg [31:0] tmp = 0;
+    reg [31:0] lfsr = 32'hace1ace1;
+    reg [2:0] phase = 0;
+    always @(posedge clock) begin
+        {yield_stmt}
+        instret <= instret + 1;
+        pc <= pc + 4;
+        if (phase == 0) begin
+            lfsr = {{lfsr[30:0], lfsr[31] ^ lfsr[21] ^ lfsr[1] ^ lfsr[0]}};
+            dmem[i[5:0]] <= lfsr;
+            regs[i[4:0]] <= lfsr ^ 32'h5a5a5a5a;
+            if (i == 63) begin
+                i <= 0;
+                phase <= 1;
+            end else
+                i <= i + 1;
+        end else if (phase == 1) begin
+            if (i >= 63)
+                phase <= 3;
+            else begin
+                j <= 0;
+                phase <= 2;
+            end
+        end else if (phase == 2) begin
+            if (j < 63 - i) begin
+                if (dmem[j[5:0]] > dmem[j[5:0] + 1]) begin
+                    tmp = dmem[j[5:0]];
+                    dmem[j[5:0]] <= dmem[j[5:0] + 1];
+                    dmem[j[5:0] + 1] <= tmp;
+                end
+                j <= j + 1;
+            end else begin
+                i <= i + 1;
+                phase <= 1;
+            end
+        end else begin
+            runs <= runs + 1;
+            i <= 0;
+            phase <= 0;
+        end
+    end
+    assign instret_lo = instret[31:0];
+    assign runs_out = runs;
+endmodule
+"#
+    )
+}
+
+// --------------------------------------------------------------------- df
+
+/// Double-precision arithmetic circuits characteristic of numeric simulation
+/// kernels. The IEEE-754 datapath is replaced by 64-bit integer mantissa
+/// arithmetic with the same register widths (see `DESIGN.md`).
+pub fn df() -> Benchmark {
+    Benchmark {
+        name: "df".into(),
+        description: "Double-precision arithmetic circuits".into(),
+        style: Style::Batch,
+        source: df_source(false),
+        quiescent_source: df_source(true),
+        top: "Df".into(),
+        clock: "clock".into(),
+        input_path: None,
+        metric_var: "ops_lo".into(),
+        metric_unit: "fp-ops".into(),
+    }
+}
+
+fn df_source(quiesce: bool) -> String {
+    let nv = if quiesce { "(* non_volatile *) " } else { "" };
+    let yield_stmt = if quiesce {
+        "$yield;"
+    } else {
+        ";"
+    };
+    format!(
+        r#"module Df(input wire clock, output wire [31:0] ops_lo, output wire [63:0] acc_out);
+    {nv}reg [63:0] ops = 0;
+    reg [63:0] acc = 64'h3ff0000000000000;
+    reg [63:0] x = 64'h4000000000000000;
+    reg [63:0] m0 = 0;
+    reg [63:0] m1 = 0;
+    reg [63:0] m2 = 0;
+    reg [63:0] m3 = 0;
+    reg [63:0] m4 = 0;
+    reg [63:0] m5 = 0;
+    always @(posedge clock) begin
+        {yield_stmt}
+        m0 = acc[51:0] * x[31:0];
+        m1 = (acc >> 12) + (x >> 12);
+        m2 = m0 ^ m1;
+        m3 = m2 + (m2 >> 7) + 64'h123456789;
+        m4 = (m3 << 3) ^ (m0 >> 5);
+        m5 = m4 + m1;
+        acc <= {{acc[63:52], m5[51:0]}};
+        x <= x + 64'h10000000001;
+        ops <= ops + 4;
+    end
+    assign ops_lo = ops[31:0];
+    assign acc_out = acc;
+endmodule
+"#
+    )
+}
+
+// --------------------------------------------------------------------- adpcm
+
+/// An IMA-ADPCM-style pulse-code modulation encoder/decoder with the step
+/// adaptation folded into control logic (the source of its long critical path in
+/// Figure 15).
+pub fn adpcm() -> Benchmark {
+    Benchmark {
+        name: "adpcm".into(),
+        description: "Pulse-code modulation encoder/decoder".into(),
+        style: Style::Batch,
+        source: adpcm_source(false),
+        quiescent_source: adpcm_source(true),
+        top: "Adpcm".into(),
+        clock: "clock".into(),
+        input_path: Some("adpcm_input.bin".into()),
+        metric_var: "samples_lo".into(),
+        metric_unit: "samples".into(),
+    }
+}
+
+fn adpcm_source(quiesce: bool) -> String {
+    let nv = if quiesce { "(* non_volatile *) " } else { "" };
+    let yield_stmt = if quiesce {
+        "$yield;"
+    } else {
+        ";"
+    };
+    format!(
+        r#"module Adpcm(input wire clock, output wire [31:0] samples_lo, output wire [31:0] errsum_lo);
+    integer fd = $fopen("adpcm_input.bin");
+    {nv}reg [31:0] samples = 0;
+    {nv}reg [31:0] errsum = 0;
+    {nv}reg [31:0] predicted = 0;
+    {nv}reg [31:0] step = 16;
+    reg [15:0] sample = 0;
+    reg [3:0] code = 0;
+    reg [31:0] diff = 0;
+    reg [31:0] decoded = 0;
+    reg [31:0] filtered = 0;
+    reg [31:0] history [0:15];
+    reg [0:0] eof = 0;
+    always @(posedge clock) begin
+        {yield_stmt}
+        if (!eof) begin
+            $fread(fd, sample);
+            if ($feof(fd))
+                eof <= 1;
+            else begin
+                if (sample >= predicted) begin
+                    diff = sample - predicted;
+                    code[3] = 0;
+                end else begin
+                    diff = predicted - sample;
+                    code[3] = 1;
+                end
+                code[2:0] = 0;
+                if (diff >= step) begin
+                    code[2] = 1;
+                    diff = diff - step;
+                end
+                if (diff >= (step >> 1)) begin
+                    code[1] = 1;
+                    diff = diff - (step >> 1);
+                end
+                if (diff >= (step >> 2))
+                    code[0] = 1;
+                decoded = (code[2] ? step : 0) + (code[1] ? (step >> 1) : 0)
+                        + (code[0] ? (step >> 2) : 0) + (step >> 3);
+                if (code[3]) begin
+                    if (predicted > decoded)
+                        predicted = predicted - decoded;
+                    else
+                        predicted = 0;
+                end else
+                    predicted = predicted + decoded;
+                case (code[2:0])
+                    0, 1, 2, 3: step = (step > 16) ? (step - (step >> 3)) : 16;
+                    default: step = (step < 32000) ? (step + (step >> 2)) : 32000;
+                endcase
+                filtered = ((sample * 3 + predicted) * 5 + decoded) * 7 + step * 9;
+                history[samples[3:0]] <= filtered;
+                if (sample >= predicted)
+                    errsum <= errsum + (sample - predicted);
+                else
+                    errsum <= errsum + (predicted - sample);
+                samples <= samples + 1;
+            end
+        end
+    end
+    assign samples_lo = samples;
+    assign errsum_lo = errsum;
+endmodule
+"#
+    )
+}
+
+// --------------------------------------------------------------------- nw
+
+/// DNA sequence alignment: streams pairs of packed 8-base sequences from a file
+/// and scores them with a tile-based Needleman-Wunsch dynamic program (§6.2).
+pub fn nw() -> Benchmark {
+    Benchmark {
+        name: "nw".into(),
+        description: "DNA sequence alignment".into(),
+        style: Style::Streaming,
+        source: nw_source(false),
+        quiescent_source: nw_source(true),
+        top: "Nw".into(),
+        clock: "clock".into(),
+        input_path: Some("nw_input.bin".into()),
+        metric_var: "alignments_lo".into(),
+        metric_unit: "alignments".into(),
+    }
+}
+
+fn nw_source(quiesce: bool) -> String {
+    let nv = if quiesce { "(* non_volatile *) " } else { "" };
+    let yield_stmt = if quiesce {
+        "$yield;"
+    } else {
+        ";"
+    };
+    format!(
+        r#"module Nw(input wire clock, output wire [31:0] alignments_lo, output wire [31:0] score_out);
+    integer fd = $fopen("nw_input.bin");
+    {nv}reg [31:0] alignments = 0;
+    {nv}reg [31:0] last_score = 0;
+    reg [63:0] seq_a = 0;
+    reg [63:0] seq_b = 0;
+    reg [31:0] dp [0:80];
+    integer i = 0;
+    integer j = 0;
+    reg [31:0] diag = 0;
+    reg [31:0] up = 0;
+    reg [31:0] left = 0;
+    reg [31:0] best = 0;
+    reg [7:0] ca = 0;
+    reg [7:0] cb = 0;
+    reg [0:0] eof = 0;
+    always @(posedge clock) begin
+        {yield_stmt}
+        if (!eof) begin
+            $fread(fd, seq_a);
+            $fread(fd, seq_b);
+            if ($feof(fd))
+                eof <= 1;
+            else begin
+                for (i = 0; i < 9; i = i + 1) begin
+                    dp[i] = i * 2;
+                    dp[i * 9] = i * 2;
+                end
+                for (i = 1; i < 9; i = i + 1) begin
+                    for (j = 1; j < 9; j = j + 1) begin
+                        ca = seq_a >> ((i - 1) * 8);
+                        cb = seq_b >> ((j - 1) * 8);
+                        diag = dp[(i - 1) * 9 + (j - 1)] + ((ca == cb) ? 0 : 3);
+                        up = dp[(i - 1) * 9 + j] + 2;
+                        left = dp[i * 9 + (j - 1)] + 2;
+                        best = diag;
+                        if (up < best) best = up;
+                        if (left < best) best = left;
+                        dp[i * 9 + j] = best;
+                    end
+                end
+                last_score <= dp[80];
+                alignments <= alignments + 1;
+            end
+        end
+    end
+    assign alignments_lo = alignments;
+    assign score_out = last_score;
+endmodule
+"#
+    )
+}
+
+// --------------------------------------------------------------------- regex
+
+/// A streaming regular-expression matcher: reads characters from a file and runs a
+/// small DFA (the pattern `a b* c`), producing match statistics (§6.2).
+pub fn regex() -> Benchmark {
+    Benchmark {
+        name: "regex".into(),
+        description: "Streaming regular expression matcher".into(),
+        style: Style::Streaming,
+        source: regex_source(false),
+        quiescent_source: regex_source(true),
+        top: "Regex".into(),
+        clock: "clock".into(),
+        input_path: Some("regex_input.bin".into()),
+        metric_var: "reads_lo".into(),
+        metric_unit: "reads".into(),
+    }
+}
+
+fn regex_source(quiesce: bool) -> String {
+    let nv = if quiesce { "(* non_volatile *) " } else { "" };
+    let yield_stmt = if quiesce {
+        "$yield;"
+    } else {
+        ";"
+    };
+    format!(
+        r#"module Regex(input wire clock, output wire [31:0] matches_lo, output wire [31:0] reads_lo);
+    integer fd = $fopen("regex_input.bin");
+    {nv}reg [31:0] matches = 0;
+    {nv}reg [63:0] reads = 0;
+    {nv}reg [1:0] state = 0;
+    reg [7:0] ch = 0;
+    reg [0:0] eof = 0;
+    always @(posedge clock) begin
+        {yield_stmt}
+        if (!eof) begin
+            $fread(fd, ch);
+            if ($feof(fd))
+                eof <= 1;
+            else begin
+                reads <= reads + 1;
+                case (state)
+                    0: if (ch == 97) state <= 1;
+                    1: begin
+                        if (ch == 98)
+                            state <= 1;
+                        else if (ch == 99) begin
+                            matches <= matches + 1;
+                            state <= 0;
+                        end else if (ch == 97)
+                            state <= 1;
+                        else
+                            state <= 0;
+                    end
+                    default: state <= 0;
+                endcase
+            end
+        end
+    end
+    assign matches_lo = matches;
+    assign reads_lo = reads[31:0];
+endmodule
+"#
+    )
+}

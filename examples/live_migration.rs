@@ -1,0 +1,56 @@
+//! Live workload migration across heterogeneous FPGAs (the Figure 9 / Figure 10
+//! scenario): a Bitcoin miner starts on a DE10 SoC, is suspended with `$save`-style
+//! state capture, and resumes on an AWS F1 instance — without modifying the
+//! program.
+//!
+//! Run with: `cargo run --example live_migration`
+
+use synergy::workloads;
+use synergy::{BitstreamCache, Device, Runtime};
+
+fn throughput(rt: &mut Runtime, metric: &str, ticks: u64) -> f64 {
+    let t0 = rt.now_secs();
+    let m0 = rt.get_bits(metric).unwrap().to_u64();
+    rt.run_ticks(ticks).unwrap();
+    let dt = rt.now_secs() - t0;
+    let dm = rt.get_bits(metric).unwrap().to_u64() - m0;
+    dm as f64 / dt.max(1e-12)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = workloads::bitcoin();
+    let cache = BitstreamCache::new();
+
+    // Start on the DE10.
+    let mut de10 = Runtime::new("bitcoin", &bench.source, &bench.top, &bench.clock)?;
+    de10.run_ticks(4)?;
+    println!(
+        "software warm-up:      {:>12.0} hashes/s",
+        throughput(&mut de10, &bench.metric_var, 200)
+    );
+    de10.migrate_to_hardware(&Device::de10(), &cache)?;
+    println!(
+        "running on DE10:       {:>12.0} hashes/s",
+        throughput(&mut de10, &bench.metric_var, 4_000)
+    );
+
+    // Suspend: capture the program state through get requests.
+    let snapshot = de10.save("migration");
+    let hashes_at_suspend = de10.get_bits("hashes_lo")?.to_u64();
+    println!("suspended on DE10 after {} hashes", hashes_at_suspend);
+
+    // Resume on F1: same program, different architecture, no source changes.
+    let mut f1 = Runtime::new("bitcoin", &bench.source, &bench.top, &bench.clock)?;
+    f1.migrate_to_hardware(&Device::f1(), &cache)?;
+    f1.restore(&snapshot);
+    assert_eq!(f1.get_bits("hashes_lo")?.to_u64(), hashes_at_suspend);
+    println!(
+        "resumed on F1:         {:>12.0} hashes/s",
+        throughput(&mut f1, &bench.metric_var, 4_000)
+    );
+    println!(
+        "nonce continues from exactly where the DE10 left off: nonce = {}",
+        f1.get_bits("nonce")?.to_u64()
+    );
+    Ok(())
+}
