@@ -135,7 +135,9 @@ impl Hull {
     ///
     /// Returns [`HullError::UnknownMorphlet`] if the id is not registered.
     pub fn morphlet(&self, id: MorphletId) -> Result<&Morphlet, HullError> {
-        self.morphlets.get(&id).ok_or(HullError::UnknownMorphlet(id.0))
+        self.morphlets
+            .get(&id)
+            .ok_or(HullError::UnknownMorphlet(id.0))
     }
 
     /// All registered, non-retired Morphlets.
@@ -292,7 +294,13 @@ mod tests {
         let a = h.register(DomainId(1), "a", report(1000), Quiescence::Transparent);
         h.check_access(DomainId(1), a).unwrap();
         let err = h.check_access(DomainId(2), a).unwrap_err();
-        assert!(matches!(err, HullError::ProtectionViolation { accessor: 2, owner: 1 }));
+        assert!(matches!(
+            err,
+            HullError::ProtectionViolation {
+                accessor: 2,
+                owner: 1
+            }
+        ));
     }
 
     #[test]
@@ -328,8 +336,18 @@ mod tests {
     #[test]
     fn quiescence_notices_reflect_mode() {
         let mut h = hull();
-        h.register(DomainId(1), "transparent", report(10), Quiescence::Transparent);
-        h.register(DomainId(2), "managed", report(10), Quiescence::ApplicationManaged);
+        h.register(
+            DomainId(1),
+            "transparent",
+            report(10),
+            Quiescence::Transparent,
+        );
+        h.register(
+            DomainId(2),
+            "managed",
+            report(10),
+            Quiescence::ApplicationManaged,
+        );
         let notices = h.quiescence_notices();
         assert_eq!(notices.len(), 2);
         assert!(notices[0].transparent);

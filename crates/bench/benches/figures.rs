@@ -14,6 +14,49 @@ use synergy_bench::{
     fig9_suspend_resume, quiescence_study, Scale,
 };
 
+/// Tentpole comparison: ticks/sec of the tree-walking interpreter versus the
+/// compiled engine (levelized netlist + bytecode) on every Table-1 workload.
+/// `BENCH_interp_vs_compiled.json` records the measured rates.
+fn bench_interp_vs_compiled(c: &mut Criterion) {
+    const TICKS: usize = 200;
+    let mut group = c.benchmark_group("interp_vs_compiled");
+    for bench in synergy_workloads::all() {
+        let design = synergy::vlog::compile(&bench.source, &bench.top).unwrap();
+        let input = bench.input_path.as_ref().map(|p| {
+            (
+                p.clone(),
+                synergy_workloads::input_data(&bench.name, 4 * TICKS),
+            )
+        });
+        group.bench_function(&format!("{}_interp", bench.name), |b| {
+            b.iter(|| {
+                let mut interp = synergy::interp::Interpreter::new(design.clone());
+                let mut env = synergy::interp::BufferEnv::new();
+                if let Some((path, data)) = &input {
+                    env.add_file(path.clone(), data.clone());
+                }
+                for _ in 0..TICKS {
+                    interp.tick(&bench.clock, &mut env).unwrap();
+                }
+            })
+        });
+        let prog = synergy::codegen::compile(&design).unwrap();
+        group.bench_function(&format!("{}_compiled", bench.name), |b| {
+            b.iter(|| {
+                let mut sim = synergy::codegen::CompiledSim::new(prog.clone());
+                let mut env = synergy::interp::BufferEnv::new();
+                if let Some((path, data)) = &input {
+                    env.add_file(path.clone(), data.clone());
+                }
+                for _ in 0..TICKS {
+                    sim.tick(&bench.clock, &mut env).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_fig9_suspend_resume(c: &mut Criterion) {
     c.bench_function("fig9_suspend_resume", |b| {
         b.iter(|| fig9_suspend_resume(Scale::Smoke))
@@ -21,7 +64,9 @@ fn bench_fig9_suspend_resume(c: &mut Criterion) {
 }
 
 fn bench_fig10_migration(c: &mut Criterion) {
-    c.bench_function("fig10_migration", |b| b.iter(|| fig10_migration(Scale::Smoke)));
+    c.bench_function("fig10_migration", |b| {
+        b.iter(|| fig10_migration(Scale::Smoke))
+    });
 }
 
 fn bench_fig11_temporal(c: &mut Criterion) {
@@ -114,8 +159,7 @@ fn bench_ablation_bitstream_cache(c: &mut Criterion) {
     group.bench_function("cache_miss", |b| {
         b.iter(|| {
             let cache = BitstreamCache::new();
-            let mut rt =
-                Runtime::new("bitcoin", &bench.source, &bench.top, &bench.clock).unwrap();
+            let mut rt = Runtime::new("bitcoin", &bench.source, &bench.top, &bench.clock).unwrap();
             rt.migrate_to_hardware(&Device::f1(), &cache).unwrap()
         })
     });
@@ -126,8 +170,7 @@ fn bench_ablation_bitstream_cache(c: &mut Criterion) {
     }
     group.bench_function("cache_hit", |b| {
         b.iter(|| {
-            let mut rt =
-                Runtime::new("bitcoin", &bench.source, &bench.top, &bench.clock).unwrap();
+            let mut rt = Runtime::new("bitcoin", &bench.source, &bench.top, &bench.clock).unwrap();
             rt.migrate_to_hardware(&Device::f1(), &warm).unwrap()
         })
     });
@@ -142,6 +185,7 @@ criterion_group! {
     name = figures;
     config = config();
     targets =
+        bench_interp_vs_compiled,
         bench_fig9_suspend_resume,
         bench_fig10_migration,
         bench_fig11_temporal,

@@ -23,7 +23,14 @@ fn main() {
     let mut wanted: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = vec![
-            "table1", "fig9", "fig10", "fig11", "fig12", "fig13-15", "quiescence", "overheads",
+            "table1",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13-15",
+            "quiescence",
+            "overheads",
         ]
         .into_iter()
         .map(String::from)

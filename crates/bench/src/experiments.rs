@@ -110,7 +110,9 @@ impl Scale {
 fn sample_rate(runtime: &mut Runtime, metric: &str, ticks: u64) -> Point {
     let t0 = runtime.now_secs();
     let m0 = runtime.get_bits(metric).map(|b| b.to_u64()).unwrap_or(0);
-    runtime.run_ticks(ticks).expect("benchmark execution failed");
+    runtime
+        .run_ticks(ticks)
+        .expect("benchmark execution failed");
     let t1 = runtime.now_secs();
     let m1 = runtime.get_bits(metric).map(|b| b.to_u64()).unwrap_or(0);
     let dt = (t1 - t0).max(1e-12);
@@ -121,13 +123,8 @@ fn sample_rate(runtime: &mut Runtime, metric: &str, ticks: u64) -> Point {
 }
 
 fn benchmark_runtime(bench: &Benchmark, stream_len: usize) -> Runtime {
-    let mut rt = Runtime::new(
-        bench.name.clone(),
-        &bench.source,
-        &bench.top,
-        &bench.clock,
-    )
-    .expect("benchmark compiles");
+    let mut rt = Runtime::new(bench.name.clone(), &bench.source, &bench.top, &bench.clock)
+        .expect("benchmark compiles");
     if let Some(path) = &bench.input_path {
         rt.add_file(path.clone(), workloads::input_data(&bench.name, stream_len));
     }
@@ -158,17 +155,25 @@ pub fn fig9_suspend_resume(scale: Scale) -> Figure {
     // Phase 1: software start, then DE10 hardware, then $save.
     let mut rt = benchmark_runtime(&bench, 0);
     for _ in 0..scale.samples(3) {
-        series_de10.points.push(sample_rate(&mut rt, &bench.metric_var, ticks / 8));
+        series_de10
+            .points
+            .push(sample_rate(&mut rt, &bench.metric_var, ticks / 8));
     }
     rt.migrate_to_hardware(&Device::de10(), &cache).unwrap();
     for _ in 0..scale.samples(6) {
-        series_de10.points.push(sample_rate(&mut rt, &bench.metric_var, ticks));
+        series_de10
+            .points
+            .push(sample_rate(&mut rt, &bench.metric_var, ticks));
     }
     let snapshot = rt.save("fig9");
     // The save itself shows up as a throughput dip on the DE10 curve.
-    series_de10.points.push(sample_rate(&mut rt, &bench.metric_var, ticks / 16));
+    series_de10
+        .points
+        .push(sample_rate(&mut rt, &bench.metric_var, ticks / 16));
     for _ in 0..scale.samples(3) {
-        series_de10.points.push(sample_rate(&mut rt, &bench.metric_var, ticks));
+        series_de10
+            .points
+            .push(sample_rate(&mut rt, &bench.metric_var, ticks));
     }
 
     // Phase 2: a new instance on F1 restores the context and resumes.
@@ -177,9 +182,13 @@ pub fn fig9_suspend_resume(scale: Scale) -> Figure {
     rt2.restore(&snapshot);
     // The F1 curve continues on the same simulated timeline as the DE10 run.
     rt2.idle_for_ns(rt.now_ns().saturating_sub(rt2.now_ns()));
-    series_f1.points.push(sample_rate(&mut rt2, &bench.metric_var, ticks / 16));
+    series_f1
+        .points
+        .push(sample_rate(&mut rt2, &bench.metric_var, ticks / 16));
     for _ in 0..scale.samples(6) {
-        series_f1.points.push(sample_rate(&mut rt2, &bench.metric_var, ticks));
+        series_f1
+            .points
+            .push(sample_rate(&mut rt2, &bench.metric_var, ticks));
     }
 
     Figure {
@@ -209,10 +218,14 @@ pub fn fig10_migration(scale: Scale) -> Figure {
             points: Vec::new(),
         };
         let mut rt = benchmark_runtime(&bench, 0);
-        series.points.push(sample_rate(&mut rt, &bench.metric_var, ticks / 8));
+        series
+            .points
+            .push(sample_rate(&mut rt, &bench.metric_var, ticks / 8));
         rt.migrate_to_hardware(&device, &cache).unwrap();
         for _ in 0..scale.samples(5) {
-            series.points.push(sample_rate(&mut rt, &bench.metric_var, ticks));
+            series
+                .points
+                .push(sample_rate(&mut rt, &bench.metric_var, ticks));
         }
         // Suspend, move to a second node of the same type, resume (the bitstream is
         // already cached, so only state transfer and reconfiguration cost time).
@@ -222,9 +235,13 @@ pub fn fig10_migration(scale: Scale) -> Figure {
         rt2.restore(&snapshot);
         // Carry wall time over so the curve is continuous across the migration.
         rt2.idle_for_ns(rt.now_ns().saturating_sub(rt2.now_ns()));
-        series.points.push(sample_rate(&mut rt2, &bench.metric_var, ticks / 16));
+        series
+            .points
+            .push(sample_rate(&mut rt2, &bench.metric_var, ticks / 16));
         for _ in 0..scale.samples(5) {
-            series.points.push(sample_rate(&mut rt2, &bench.metric_var, ticks));
+            series
+                .points
+                .push(sample_rate(&mut rt2, &bench.metric_var, ticks));
         }
         figure.series.push(series);
     }
@@ -258,7 +275,10 @@ pub fn fig11_temporal(scale: Scale) -> Figure {
         points: Vec::new(),
     };
     let mut last = (0u64, 0u64);
-    let sample = |vm: &mut SynergyVm, regex_series: &mut Series, nw_series: &mut Series, last: &mut (u64, u64)| {
+    let sample = |vm: &mut SynergyVm,
+                  regex_series: &mut Series,
+                  nw_series: &mut Series,
+                  last: &mut (u64, u64)| {
         vm.run_round(node, dt).unwrap();
         let t = vm.app(node, regex_app).unwrap().now_secs();
         let r = vm.read_var(node, regex_app, "reads_lo").unwrap().to_u64();
@@ -325,7 +345,6 @@ pub fn fig12_spatial(scale: Scale) -> Figure {
         .collect();
     let apps = [df_app, bitcoin_app, adpcm_app];
     let mut last = [0u64; 3];
-    let clock_lowered;
 
     let sample = |vm: &mut SynergyVm, series: &mut Vec<Series>, last: &mut [u64; 3]| {
         vm.run_round(node, dt).unwrap();
@@ -350,7 +369,7 @@ pub fn fig12_spatial(scale: Scale) -> Figure {
         sample(&mut vm, &mut series, &mut last);
     }
     let outcome = vm.deploy(node, adpcm_app).unwrap();
-    clock_lowered = outcome.clock_lowered;
+    let clock_lowered = outcome.clock_lowered;
     for _ in 0..phase {
         sample(&mut vm, &mut series, &mut last);
     }
@@ -528,7 +547,8 @@ pub fn overheads_tables(rows: &[OverheadRow]) -> String {
     for (title, f) in [
         (
             "Figure 13: FF usage normalised to AmorphOS",
-            Box::new(|r: &OverheadRow| format!("{:>8.2}", r.ff_norm)) as Box<dyn Fn(&OverheadRow) -> String>,
+            Box::new(|r: &OverheadRow| format!("{:>8.2}", r.ff_norm))
+                as Box<dyn Fn(&OverheadRow) -> String>,
         ),
         (
             "Figure 14: LUT usage normalised to AmorphOS",

@@ -27,7 +27,10 @@ mod tests {
         // start of the DE10 curve.
         assert!(f1.peak() > de10.peak());
         assert!(de10.peak() > 1e6, "DE10 should reach millions of hashes/s");
-        assert!(de10.points[0].rate < de10.peak() / 10.0, "software start is slow");
+        assert!(
+            de10.points[0].rate < de10.peak() / 10.0,
+            "software start is slow"
+        );
         // The save introduces a visible dip on the DE10 curve.
         assert!(de10.trough() < de10.peak() / 2.0);
     }
@@ -46,8 +49,8 @@ mod tests {
         let fig = fig11_temporal(Scale::Smoke);
         let regex = fig.series("regex").unwrap();
         let n = regex.points.len();
-        let solo: f64 = regex.points[1..n / 4].iter().map(|p| p.rate).sum::<f64>()
-            / (n / 4 - 1) as f64;
+        let solo: f64 =
+            regex.points[1..n / 4].iter().map(|p| p.rate).sum::<f64>() / (n / 4 - 1) as f64;
         let mid = &regex.points[n / 3..2 * n / 3];
         let contended: f64 = mid.iter().map(|p| p.rate).sum::<f64>() / mid.len() as f64;
         assert!(
@@ -63,9 +66,12 @@ mod tests {
         let fig = fig12_spatial(Scale::Smoke);
         let df = fig.series("df").unwrap();
         let n = df.points.len();
-        let early: f64 = df.points[1..n / 3].iter().map(|p| p.rate).sum::<f64>()
-            / (n / 3 - 1) as f64;
-        let late: f64 = df.points[2 * n / 3 + 1..].iter().map(|p| p.rate).sum::<f64>()
+        let early: f64 =
+            df.points[1..n / 3].iter().map(|p| p.rate).sum::<f64>() / (n / 3 - 1) as f64;
+        let late: f64 = df.points[2 * n / 3 + 1..]
+            .iter()
+            .map(|p| p.rate)
+            .sum::<f64>()
             / (n - 2 * n / 3 - 1) as f64;
         assert!(
             late < early * 0.8,
@@ -90,9 +96,7 @@ mod tests {
                 .unwrap();
             let quiesced = rows
                 .iter()
-                .find(|r| {
-                    r.benchmark == bench.name && r.condition == Condition::SynergyQuiescence
-                })
+                .find(|r| r.benchmark == bench.name && r.condition == Condition::SynergyQuiescence)
                 .unwrap();
             assert!(
                 synergy.report.luts > native.report.luts,

@@ -1,0 +1,715 @@
+//! The register-machine executor for [`CompiledProgram`]s.
+//!
+//! [`CompiledSim`] reproduces the reference interpreter's scheduling semantics
+//! exactly — evaluate/update until fixpoint, edge-detected guards, per-tick
+//! non-blocking latching — but over the compiled IR: dirty-bit driven
+//! re-evaluation of the levelized combinational nodes (only affected cones
+//! recompute) and straight-line bytecode dispatch for procedural bodies. State
+//! capture produces the same [`StateSnapshot`] type the interpreter uses, so
+//! snapshots migrate losslessly between the two engines (and onward to the
+//! hardware engine).
+
+use crate::ir::{binary, concat, slice, unary, CompiledProgram, Op, SlotRef, Val, MAX_LOOP_ITERS};
+use std::collections::BTreeMap;
+use synergy_interp::{StateSnapshot, SystemEnv, TaskEffect, Value};
+use synergy_vlog::ast::Edge;
+use synergy_vlog::{Bits, VlogError, VlogResult};
+
+/// Upper bound on evaluate-loop iterations, mirroring the interpreter.
+const MAX_PROPAGATION_ITERS: usize = 10_000;
+
+/// A no-op environment for guard evaluation and post-restore propagation,
+/// mirroring the interpreter's `NullEnv`.
+struct NoopEnv;
+
+impl SystemEnv for NoopEnv {
+    fn print(&mut self, _text: &str) {}
+    fn fopen(&mut self, _path: &str) -> u32 {
+        0
+    }
+    fn fread(&mut self, _fd: u32, _width: usize) -> Option<Bits> {
+        None
+    }
+    fn feof(&mut self, _fd: u32) -> bool {
+        true
+    }
+    fn fclose(&mut self, _fd: u32) {}
+    fn random(&mut self) -> u32 {
+        0
+    }
+}
+
+/// One memory's contents.
+#[derive(Debug, Clone)]
+struct MemData {
+    width: u32,
+    elems: Vec<Val>,
+}
+
+/// Mutable execution state, split from the immutable program so bytecode can
+/// borrow code slices while mutating values.
+#[derive(Debug)]
+struct State {
+    nets: Vec<Val>,
+    mems: Vec<MemData>,
+    temps: Vec<Val>,
+    loops: Vec<u64>,
+    stack: Vec<Val>,
+    value_reg: Val,
+    print_buf: String,
+    nb: Vec<(u32, Val)>,
+    comb_dirty: Vec<bool>,
+    comb_any: bool,
+    guard_prev: Vec<Vec<Val>>,
+    effects: Vec<TaskEffect>,
+    time: u64,
+    finished: Option<u32>,
+    initials_run: bool,
+}
+
+/// A compiled design plus its execution state: the compiled software engine.
+#[derive(Debug)]
+pub struct CompiledSim {
+    prog: CompiledProgram,
+    st: State,
+}
+
+fn store_net(prog: &CompiledProgram, st: &mut State, net: u32, value: Val) {
+    let width = prog.nets[net as usize].width as usize;
+    let new = value.resize(width);
+    let slot = &mut st.nets[net as usize];
+    if *slot != new {
+        *slot = new;
+        mark_net(prog, st, net);
+    }
+}
+
+fn mark_net(prog: &CompiledProgram, st: &mut State, net: u32) {
+    for &pos in &prog.net_deps[net as usize] {
+        st.comb_dirty[pos as usize] = true;
+        st.comb_any = true;
+    }
+    // A write to a continuously driven net must also re-wake its driver so
+    // the assigned value wins again, exactly as the interpreter's full
+    // re-evaluation loop makes it win.
+    if let Some(pos) = prog.net_driver[net as usize] {
+        st.comb_dirty[pos as usize] = true;
+        st.comb_any = true;
+    }
+}
+
+fn mark_mem(prog: &CompiledProgram, st: &mut State, mem: u32) {
+    for &pos in &prog.mem_deps[mem as usize] {
+        st.comb_dirty[pos as usize] = true;
+        st.comb_any = true;
+    }
+}
+
+/// Runs one bytecode program to completion.
+fn exec(
+    prog: &CompiledProgram,
+    st: &mut State,
+    code: &[Op],
+    env: &mut dyn SystemEnv,
+) -> VlogResult<()> {
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match &code[pc] {
+            Op::PushConst(i) => st.stack.push(prog.consts[*i as usize].clone()),
+            Op::PushNet(i) => st.stack.push(st.nets[*i as usize].clone()),
+            Op::PushMemElem0(i) => st.stack.push(st.mems[*i as usize].elems[0].clone()),
+            Op::PushTime => st.stack.push(Val::Small(st.time, 64)),
+            Op::PushValueReg => st.stack.push(st.value_reg.clone()),
+            Op::MemRead(i) => {
+                let idx = st.stack.pop().unwrap().to_u64() as usize;
+                let mem = &st.mems[*i as usize];
+                let v = mem
+                    .elems
+                    .get(idx)
+                    .cloned()
+                    .unwrap_or_else(|| Val::zero(mem.width as usize));
+                st.stack.push(v);
+            }
+            Op::BitSelect => {
+                let base = st.stack.pop().unwrap();
+                let idx = st.stack.pop().unwrap().to_u64() as usize;
+                st.stack.push(Val::Small(base.bit(idx) as u64, 1));
+            }
+            Op::SliceConst { hi, lo } => {
+                let base = st.stack.pop().unwrap();
+                st.stack.push(slice(&base, *hi as usize, *lo as usize));
+            }
+            Op::SliceDyn => {
+                let lo = st.stack.pop().unwrap().to_u64() as usize;
+                let hi = st.stack.pop().unwrap().to_u64() as usize;
+                let base = st.stack.pop().unwrap();
+                st.stack.push(slice(&base, hi.max(lo), hi.min(lo)));
+            }
+            Op::Unary(op) => {
+                let a = st.stack.pop().unwrap();
+                st.stack.push(unary(*op, &a));
+            }
+            Op::Binary(op) => {
+                let b = st.stack.pop().unwrap();
+                let a = st.stack.pop().unwrap();
+                st.stack.push(binary(*op, &a, &b));
+            }
+            Op::Concat2 => {
+                let b = st.stack.pop().unwrap();
+                let a = st.stack.pop().unwrap();
+                st.stack.push(concat(&a, &b));
+            }
+            Op::ReplicateDyn => {
+                let v = st.stack.pop().unwrap();
+                let n = st.stack.pop().unwrap().to_u64() as usize;
+                st.stack.push(Val::from_bits(&v.to_bits().replicate(n)));
+            }
+            Op::Resize(w) => {
+                let v = st.stack.pop().unwrap();
+                st.stack.push(v.resize(*w as usize));
+            }
+            Op::Jump(t) => {
+                pc = *t as usize;
+                continue;
+            }
+            Op::JumpIfZero(t) => {
+                if !st.stack.pop().unwrap().to_bool() {
+                    pc = *t as usize;
+                    continue;
+                }
+            }
+            Op::JumpIfNonZero(t) => {
+                if st.stack.pop().unwrap().to_bool() {
+                    pc = *t as usize;
+                    continue;
+                }
+            }
+            Op::JumpIfNotFinished(t) => {
+                if st.finished.is_none() {
+                    pc = *t as usize;
+                    continue;
+                }
+            }
+            Op::CheckFinished(t) => {
+                if st.finished.is_some() {
+                    pc = *t as usize;
+                    continue;
+                }
+            }
+            Op::StoreTemp(i) => st.temps[*i as usize] = st.stack.pop().unwrap(),
+            Op::PushTemp(i) => st.stack.push(st.temps[*i as usize].clone()),
+            Op::Pop => {
+                st.stack.pop();
+            }
+            Op::StoreNet(i) => {
+                let v = st.stack.pop().unwrap();
+                store_net(prog, st, *i, v);
+            }
+            Op::StoreMem(i) => {
+                let idx = st.stack.pop().unwrap().to_u64() as usize;
+                let value = st.stack.pop().unwrap();
+                let mem = &mut st.mems[*i as usize];
+                if idx < mem.elems.len() {
+                    let new = value.resize(mem.width as usize);
+                    if mem.elems[idx] != new {
+                        mem.elems[idx] = new;
+                        mark_mem(prog, st, *i);
+                    }
+                }
+            }
+            Op::StoreBit(i) => {
+                let idx = st.stack.pop().unwrap().to_u64() as usize;
+                let value = st.stack.pop().unwrap();
+                let width = prog.nets[*i as usize].width as usize;
+                if idx < width {
+                    let new_bit = value.bit(0);
+                    let slot = &mut st.nets[*i as usize];
+                    let changed = match slot {
+                        Val::Small(v, _) => {
+                            let old = (*v >> idx) & 1 == 1;
+                            if new_bit {
+                                *v |= 1 << idx;
+                            } else {
+                                *v &= !(1 << idx);
+                            }
+                            old != new_bit
+                        }
+                        Val::Big(b) => {
+                            let old = b.bit(idx);
+                            b.set_bit(idx, new_bit);
+                            old != new_bit
+                        }
+                    };
+                    if changed {
+                        mark_net(prog, st, *i);
+                    }
+                }
+            }
+            Op::StoreSliceDyn(i) => {
+                let lo = st.stack.pop().unwrap().to_u64() as usize;
+                let hi = st.stack.pop().unwrap().to_u64() as usize;
+                let value = st.stack.pop().unwrap();
+                let (hi, lo) = (hi.max(lo), hi.min(lo));
+                let slot = &mut st.nets[*i as usize];
+                let old = slot.clone();
+                let mut b = slot.to_bits();
+                b.set_slice(hi, lo, &value.to_bits());
+                let new = Val::from_bits(&b);
+                if new != old {
+                    *slot = new;
+                    mark_net(prog, st, *i);
+                }
+            }
+            Op::NbSchedule(site) => {
+                let v = st.stack.pop().unwrap();
+                st.nb.push((*site, v));
+            }
+            Op::LoopInit(slot) => st.loops[*slot as usize] = 0,
+            Op::LoopCheck(slot) => {
+                let c = &mut st.loops[*slot as usize];
+                *c += 1;
+                if *c > MAX_LOOP_ITERS {
+                    return Err(VlogError::Elaborate(
+                        "for loop exceeded iteration cap".into(),
+                    ));
+                }
+            }
+            Op::RepeatInit(slot) => {
+                let n = st.stack.pop().unwrap().to_u64();
+                st.loops[*slot as usize] = n.min(MAX_LOOP_ITERS);
+            }
+            Op::RepeatTest { slot, end } => {
+                let c = &mut st.loops[*slot as usize];
+                if *c == 0 {
+                    pc = *end as usize;
+                    continue;
+                }
+                *c -= 1;
+            }
+            Op::Fopen(s) => {
+                let fd = env.fopen(&prog.strings[*s as usize]);
+                st.stack.push(Val::Small(fd as u64, 32));
+            }
+            Op::Feof => {
+                let fd = st.stack.pop().unwrap().to_u64() as u32;
+                st.stack.push(Val::Small(env.feof(fd) as u64, 1));
+            }
+            Op::Random => st.stack.push(Val::Small(env.random() as u64, 32)),
+            Op::Fread { width, skip } => {
+                let fd = st.stack.pop().unwrap().to_u64() as u32;
+                match env.fread(fd, *width as usize) {
+                    Some(v) => st.value_reg = Val::from_bits(&v),
+                    None => {
+                        pc = *skip as usize;
+                        continue;
+                    }
+                }
+            }
+            Op::Fclose => {
+                let fd = st.stack.pop().unwrap().to_u64() as u32;
+                env.fclose(fd);
+            }
+            Op::PrintStr(s) => st.print_buf.push_str(&prog.strings[*s as usize]),
+            Op::PrintVal => {
+                let v = st.stack.pop().unwrap();
+                st.print_buf.push_str(&v.to_dec_string());
+            }
+            Op::PrintFlush { newline } => {
+                if *newline {
+                    st.print_buf.push('\n');
+                }
+                let text = std::mem::take(&mut st.print_buf);
+                env.print(&text);
+            }
+            Op::Finish => {
+                let code_val = st.stack.pop().unwrap().to_u64() as u32;
+                st.finished = Some(code_val);
+                st.effects.push(TaskEffect::Finish(code_val));
+            }
+            Op::Effect(i) => st.effects.push(prog.effects[*i as usize].clone()),
+        }
+        pc += 1;
+    }
+    Ok(())
+}
+
+impl CompiledSim {
+    /// Instantiates execution state for a compiled program, with registers at
+    /// their declared reset values.
+    pub fn new(prog: CompiledProgram) -> Self {
+        let nets = prog
+            .nets
+            .iter()
+            .map(|n| match &n.init {
+                Some(b) => Val::from_bits(b),
+                None => Val::zero(n.width as usize),
+            })
+            .collect();
+        let mems = prog
+            .mems
+            .iter()
+            .map(|m| MemData {
+                width: m.width,
+                elems: vec![Val::zero(m.width as usize); m.depth as usize],
+            })
+            .collect();
+        let st = State {
+            nets,
+            mems,
+            temps: vec![Val::zero(1); prog.n_temps as usize],
+            loops: vec![0; prog.n_loops as usize],
+            stack: Vec::with_capacity(16),
+            value_reg: Val::zero(1),
+            print_buf: String::new(),
+            nb: Vec::new(),
+            comb_dirty: vec![true; prog.comb.len()],
+            comb_any: !prog.comb.is_empty(),
+            guard_prev: prog
+                .always
+                .iter()
+                .map(|a| vec![Val::zero(1); a.guards.len()])
+                .collect(),
+            effects: Vec::new(),
+            time: 0,
+            finished: None,
+            initials_run: false,
+        };
+        CompiledSim { prog, st }
+    }
+
+    /// The compiled program being executed.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.prog
+    }
+
+    /// Current simulation time (incremented by [`CompiledSim::tick`]).
+    pub fn time(&self) -> u64 {
+        self.st.time
+    }
+
+    /// The exit code passed to `$finish`, if the program has finished.
+    pub fn finished(&self) -> Option<u32> {
+        self.st.finished
+    }
+
+    /// Drains control-flow effects raised since the last call.
+    pub fn take_effects(&mut self) -> Vec<TaskEffect> {
+        std::mem::take(&mut self.st.effects)
+    }
+
+    fn slot(&self, name: &str) -> VlogResult<SlotRef> {
+        self.prog
+            .slot(name)
+            .ok_or_else(|| VlogError::Elaborate(format!("no such variable '{}'", name)))
+    }
+
+    /// Resolves a variable name to its net id (inputs, clocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown names or memories.
+    pub fn net_id(&self, name: &str) -> VlogResult<u32> {
+        match self.slot(name)? {
+            SlotRef::Net(i) => Ok(i),
+            SlotRef::Mem(_) => Err(VlogError::Elaborate(format!(
+                "cannot scalar-assign memory '{}'",
+                name
+            ))),
+        }
+    }
+
+    /// Reads a variable's current value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variable does not exist.
+    pub fn get(&self, name: &str) -> VlogResult<Value> {
+        Ok(match self.slot(name)? {
+            SlotRef::Net(i) => Value::Scalar(self.st.nets[i as usize].to_bits()),
+            SlotRef::Mem(i) => Value::Memory(
+                self.st.mems[i as usize]
+                    .elems
+                    .iter()
+                    .map(Val::to_bits)
+                    .collect(),
+            ),
+        })
+    }
+
+    /// Reads a scalar variable as `Bits` (memories read as element 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variable does not exist.
+    pub fn get_bits(&self, name: &str) -> VlogResult<Bits> {
+        Ok(match self.slot(name)? {
+            SlotRef::Net(i) => self.st.nets[i as usize].to_bits(),
+            SlotRef::Mem(i) => self.st.mems[i as usize].elems[0].to_bits(),
+        })
+    }
+
+    /// Writes a scalar variable (an input port, or any register).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the variable does not exist or is a memory.
+    pub fn set(&mut self, name: &str, value: Bits) -> VlogResult<()> {
+        let id = self.net_id(name)?;
+        self.set_net(id, &value);
+        Ok(())
+    }
+
+    /// Writes a scalar net by id (the fast path for clock toggling).
+    pub fn set_net(&mut self, id: u32, value: &Bits) {
+        let width = self.prog.nets[id as usize].width as usize;
+        let new = Val::from_bits(value).resize(width);
+        self.st.nets[id as usize] = new;
+        mark_net(&self.prog, &mut self.st, id);
+    }
+
+    /// `true` if non-blocking assignments are waiting to be latched.
+    pub fn there_are_updates(&self) -> bool {
+        !self.st.nb.is_empty()
+    }
+
+    /// Re-evaluates dirty combinational cones in level order.
+    fn propagate(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        if !self.st.comb_any {
+            return Ok(());
+        }
+        for i in 0..self.prog.comb.len() {
+            if !self.st.comb_dirty[i] {
+                continue;
+            }
+            exec(&self.prog, &mut self.st, &self.prog.comb[i].code, env)?;
+            // Clear after executing: the node's own store re-marks it (as the
+            // target's driver), and that self-mark is already satisfied.
+            self.st.comb_dirty[i] = false;
+        }
+        // Nodes are in topological order, so a single forward pass reaches the
+        // fixpoint; anything marked during the pass sat strictly ahead of the
+        // cursor and has been processed.
+        self.st.comb_any = false;
+        Ok(())
+    }
+
+    /// Determines which always blocks fire, updating stored guard values —
+    /// the same edge-detection algorithm as the interpreter.
+    fn triggered_blocks(&mut self) -> Vec<usize> {
+        let mut triggered = Vec::new();
+        for idx in 0..self.prog.always.len() {
+            let ap = &self.prog.always[idx];
+            if ap.guards.is_empty() {
+                if self.st.guard_prev[idx].len() != ap.star.len() {
+                    self.st.guard_prev[idx] = vec![Val::zero(1); ap.star.len()];
+                }
+                let mut fired = false;
+                for (eidx, s) in ap.star.iter().enumerate() {
+                    let current = match s {
+                        SlotRef::Net(i) => &self.st.nets[*i as usize],
+                        SlotRef::Mem(i) => &self.st.mems[*i as usize].elems[0],
+                    };
+                    if self.st.guard_prev[idx][eidx] != *current {
+                        fired = true;
+                        self.st.guard_prev[idx][eidx] = current.clone();
+                    }
+                }
+                if fired {
+                    triggered.push(idx);
+                }
+                continue;
+            }
+            let mut fired = false;
+            for (eidx, (edge, code)) in ap.guards.iter().enumerate() {
+                let mut noop = NoopEnv;
+                let current = match exec(&self.prog, &mut self.st, code, &mut noop) {
+                    Ok(()) => self.st.stack.pop().unwrap_or_else(|| Val::zero(1)),
+                    Err(_) => {
+                        self.st.stack.clear();
+                        Val::zero(1)
+                    }
+                };
+                let prev = &mut self.st.guard_prev[idx][eidx];
+                fired |= match edge {
+                    Edge::Pos => !prev.bit(0) && current.bit(0),
+                    Edge::Neg => prev.bit(0) && !current.bit(0),
+                    Edge::Any => *prev != current,
+                };
+                *prev = current;
+            }
+            if fired {
+                triggered.push(idx);
+            }
+        }
+        triggered
+    }
+
+    /// Runs `initial` blocks if they have not run yet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from the initial blocks.
+    pub fn run_initials(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        if self.st.initials_run {
+            return Ok(());
+        }
+        self.st.initials_run = true;
+        for i in 0..self.prog.initials.len() {
+            exec(&self.prog, &mut self.st, &self.prog.initials[i], env)?;
+        }
+        Ok(())
+    }
+
+    /// Runs evaluation events to a fixed point (the `evaluate` ABI request).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on oscillating designs or malformed programs.
+    pub fn evaluate(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        self.run_initials(env)?;
+        let mut iterations = 0usize;
+        loop {
+            self.propagate(env)?;
+            let triggered = self.triggered_blocks();
+            if triggered.is_empty() {
+                return Ok(());
+            }
+            for idx in triggered {
+                if self.st.finished.is_some() {
+                    return Ok(());
+                }
+                exec(&self.prog, &mut self.st, &self.prog.always[idx].body, env)?;
+                self.propagate(env)?;
+            }
+            iterations += 1;
+            if iterations > MAX_PROPAGATION_ITERS {
+                return Err(VlogError::Elaborate(
+                    "always blocks did not stabilise (oscillating design?)".into(),
+                ));
+            }
+        }
+    }
+
+    /// Latches pending non-blocking assignments (the `update` ABI request).
+    /// Returns `true` if any were pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from index expressions.
+    pub fn update(&mut self, env: &mut dyn SystemEnv) -> VlogResult<bool> {
+        if self.st.nb.is_empty() {
+            return Ok(false);
+        }
+        let pending = std::mem::take(&mut self.st.nb);
+        for (site, value) in pending {
+            self.st.value_reg = value;
+            exec(
+                &self.prog,
+                &mut self.st,
+                &self.prog.nb_sites[site as usize],
+                env,
+            )?;
+        }
+        Ok(true)
+    }
+
+    /// Runs evaluate/update until no more updates are pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`CompiledSim::evaluate`] and
+    /// [`CompiledSim::update`].
+    pub fn settle(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        loop {
+            self.evaluate(env)?;
+            if !self.update(env)? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Advances one full virtual clock cycle on the named clock input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the clock does not exist or evaluation fails.
+    pub fn tick(&mut self, clock: &str, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        let id = self.net_id(clock)?;
+        self.tick_net(id, env)
+    }
+
+    /// Advances one full virtual clock cycle on a pre-resolved clock net.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if evaluation fails.
+    pub fn tick_net(&mut self, clock: u32, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        self.set_net(clock, &Bits::from_u64(1, 1));
+        self.settle(env)?;
+        self.set_net(clock, &Bits::from_u64(1, 0));
+        self.settle(env)?;
+        self.st.time += 1;
+        Ok(())
+    }
+
+    /// Captures the architectural state (registers and memories), in the same
+    /// shape the interpreter produces.
+    pub fn save_state(&self) -> StateSnapshot {
+        let mut values = BTreeMap::new();
+        for (name, slot) in &self.prog.slots {
+            match slot {
+                SlotRef::Net(i) => {
+                    let decl = &self.prog.nets[*i as usize];
+                    if decl.is_register {
+                        values.insert(
+                            name.clone(),
+                            Value::Scalar(self.st.nets[*i as usize].to_bits()),
+                        );
+                    }
+                }
+                SlotRef::Mem(i) => {
+                    let decl = &self.prog.mems[*i as usize];
+                    if decl.is_register {
+                        values.insert(
+                            name.clone(),
+                            Value::Memory(
+                                self.st.mems[*i as usize]
+                                    .elems
+                                    .iter()
+                                    .map(Val::to_bits)
+                                    .collect(),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        StateSnapshot {
+            values,
+            time: self.st.time,
+        }
+    }
+
+    /// Restores a previously captured snapshot (from this engine or the
+    /// interpreter) and re-propagates combinational logic.
+    pub fn restore_state(&mut self, snapshot: &StateSnapshot) {
+        for (name, value) in &snapshot.values {
+            match (self.prog.slot(name), value) {
+                (Some(SlotRef::Net(i)), Value::Scalar(b)) => {
+                    self.st.nets[i as usize] = Val::from_bits(b);
+                }
+                (Some(SlotRef::Mem(i)), Value::Memory(elems)) => {
+                    self.st.mems[i as usize].elems = elems.iter().map(Val::from_bits).collect();
+                }
+                _ => {}
+            }
+        }
+        self.st.time = snapshot.time;
+        for d in self.st.comb_dirty.iter_mut() {
+            *d = true;
+        }
+        self.st.comb_any = !self.prog.comb.is_empty();
+        let mut noop = NoopEnv;
+        let _ = self.propagate(&mut noop);
+    }
+}

@@ -1,0 +1,502 @@
+//! # synergy-codegen
+//!
+//! The compiled software engine for the SYNERGY reproduction: a levelized
+//! netlist IR plus a bytecode executor that runs the software hot path at
+//! near-hardware-model speed while the tree-walking interpreter in
+//! `synergy-interp` remains the semantic reference.
+//!
+//! [`compile`] lowers an elaborated design ([`synergy_vlog::elaborate::ElabModule`])
+//! into a [`CompiledProgram`]:
+//!
+//! * every variable becomes a numbered slot in a dense value arena (no name
+//!   lookups on the hot path; values at most 64 bits wide stay in one machine
+//!   word),
+//! * continuous assignments become combinational nodes levelized by
+//!   topological order, re-evaluated through per-net dirty bits so only the
+//!   affected cone recomputes when a value changes,
+//! * `always`/`initial` bodies (including edge guards, non-blocking
+//!   assignment, and the unsynthesizable system tasks) compile to bytecode
+//!   executed by the register-machine [`CompiledSim`].
+//!
+//! The executor reproduces the interpreter's scheduling semantics tick for
+//! tick — same evaluate/update fixpoint, same edge detection, same
+//! [`synergy_interp::StateSnapshot`] format — so programs migrate losslessly
+//! between the interpreter, the compiled engine, and the hardware engine.
+//! Designs using constructs the lowering does not cover (multiply-driven
+//! nets, combinational system calls, …) return
+//! [`synergy_vlog::VlogError::Unsupported`]; the runtime's engine-selection
+//! policy falls back to the interpreter for those.
+//!
+//! # Example
+//!
+//! ```
+//! use synergy_codegen::{compile, CompiledSim};
+//! use synergy_interp::BufferEnv;
+//!
+//! let design = synergy_vlog::compile(
+//!     r#"module Counter(input wire clock, output wire [7:0] out);
+//!            reg [7:0] count = 0;
+//!            always @(posedge clock) count <= count + 1;
+//!            assign out = count;
+//!        endmodule"#,
+//!     "Counter",
+//! )?;
+//! let mut sim = CompiledSim::new(compile(&design)?);
+//! let mut env = BufferEnv::new();
+//! for _ in 0..5 {
+//!     sim.tick("clock", &mut env)?;
+//! }
+//! assert_eq!(sim.get_bits("count")?.to_u64(), 5);
+//! # Ok::<(), synergy_vlog::VlogError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod exec;
+mod ir;
+mod lower;
+
+pub use exec::CompiledSim;
+pub use ir::{
+    binary, concat, slice, unary, AlwaysProg, Code, CombNode, CompiledProgram, MemDecl, NetDecl,
+    Op, SlotRef, Val,
+};
+
+use synergy_vlog::elaborate::ElabModule;
+use synergy_vlog::VlogResult;
+
+/// Lowers an elaborated design into the compiled netlist IR.
+///
+/// # Errors
+///
+/// Returns [`synergy_vlog::VlogError::Unsupported`] for designs outside the
+/// compilable envelope (callers should fall back to the interpreter) and
+/// [`synergy_vlog::VlogError::Elaborate`] for malformed designs.
+pub fn compile(module: &ElabModule) -> VlogResult<CompiledProgram> {
+    lower::lower(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_interp::{BufferEnv, Interpreter, TaskEffect};
+    use synergy_vlog::{Bits, VlogError};
+
+    fn compile_src(src: &str, top: &str) -> CompiledProgram {
+        compile(&synergy_vlog::compile(src, top).unwrap()).unwrap()
+    }
+
+    /// Runs the same design on the interpreter and the compiled engine for
+    /// `ticks` clock cycles, asserting bit-identical snapshots and output at
+    /// every tick.
+    fn assert_lockstep(
+        src: &str,
+        top: &str,
+        clock: &str,
+        ticks: usize,
+        files: &[(&str, Vec<u64>)],
+    ) {
+        let design = synergy_vlog::compile(src, top).unwrap();
+        let mut interp = Interpreter::new(design.clone());
+        let mut sim = CompiledSim::new(compile(&design).unwrap());
+        let mut ienv = BufferEnv::new();
+        let mut cenv = BufferEnv::new();
+        for (path, data) in files {
+            ienv.add_file(path.to_string(), data.clone());
+            cenv.add_file(path.to_string(), data.clone());
+        }
+        for t in 0..ticks {
+            interp.tick(clock, &mut ienv).unwrap();
+            sim.tick(clock, &mut cenv).unwrap();
+            assert_eq!(
+                interp.save_state(),
+                sim.save_state(),
+                "snapshots diverge at tick {} for {}",
+                t,
+                top
+            );
+            assert_eq!(
+                interp.finished(),
+                sim.finished(),
+                "finish diverges at {}",
+                t
+            );
+        }
+        assert_eq!(ienv.output_text(), cenv.output_text());
+        assert_eq!(interp.take_effects(), sim.take_effects());
+    }
+
+    #[test]
+    fn counter_matches_interpreter() {
+        assert_lockstep(
+            r#"module Counter(input wire clock, output wire [7:0] out);
+                   reg [7:0] count = 0;
+                   always @(posedge clock) count <= count + 1;
+                   assign out = count;
+               endmodule"#,
+            "Counter",
+            "clock",
+            300,
+            &[],
+        );
+    }
+
+    #[test]
+    fn blocking_vs_nonblocking_matches_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [7:0] observed);
+                   reg [7:0] a = 0;
+                   reg [7:0] b = 0;
+                   reg [7:0] seen_mid = 0;
+                   always @(posedge clock) begin
+                       a = 8'd7;
+                       seen_mid = a + b;
+                       b <= 8'd3;
+                   end
+                   assign observed = seen_mid;
+               endmodule"#,
+            "M",
+            "clock",
+            5,
+            &[],
+        );
+    }
+
+    #[test]
+    fn wide_arithmetic_matches_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [31:0] lo);
+                   reg [127:0] acc = 128'd1;
+                   reg [63:0] x = 64'hdeadbeefcafebabe;
+                   always @(posedge clock) begin
+                       acc <= acc * 3 + {x, x[15:0]} - (acc >> 5);
+                       x <= (x << 1) ^ (x >> 63);
+                   end
+                   assign lo = acc[31:0];
+               endmodule"#,
+            "M",
+            "clock",
+            64,
+            &[],
+        );
+    }
+
+    #[test]
+    fn memories_and_case_match_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [7:0] dout);
+                   reg [7:0] mem [0:15];
+                   reg [3:0] addr = 0;
+                   reg [1:0] state = 0;
+                   always @(posedge clock) begin
+                       case (state)
+                           0: begin mem[addr] <= addr * 3; state <= 1; end
+                           1: begin addr <= addr + 1; state <= 2; end
+                           default: state <= 0;
+                       endcase
+                   end
+                   assign dout = mem[addr];
+               endmodule"#,
+            "M",
+            "clock",
+            100,
+            &[],
+        );
+    }
+
+    #[test]
+    fn for_loops_and_bit_writes_match_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [31:0] total);
+                   reg [7:0] mem [0:7];
+                   reg [31:0] sum = 0;
+                   integer i = 0;
+                   reg [3:0] nib = 0;
+                   always @(posedge clock) begin
+                       sum = 0;
+                       for (i = 0; i < 8; i = i + 1) begin
+                           mem[i] = i * 5 + sum[3:0];
+                           sum = sum + mem[i];
+                       end
+                       nib[2:1] = sum[1:0];
+                       nib[0] = sum[7];
+                   end
+                   assign total = sum;
+               endmodule"#,
+            "M",
+            "clock",
+            20,
+            &[],
+        );
+    }
+
+    #[test]
+    fn file_io_and_finish_match_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock);
+                   integer fd = $fopen("data.bin");
+                   reg [31:0] r = 0;
+                   reg [127:0] sum = 0;
+                   always @(posedge clock) begin
+                       $fread(fd, r);
+                       if ($feof(fd)) begin
+                           $display("sum = ", sum);
+                           $finish(3);
+                       end else
+                           sum <= sum + r;
+                   end
+               endmodule"#,
+            "M",
+            "clock",
+            12,
+            &[("data.bin", vec![10, 20, 30, 40, 50])],
+        );
+    }
+
+    #[test]
+    fn always_star_and_negedge_match_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [7:0] biggest);
+                   reg [7:0] a = 1;
+                   reg [7:0] b = 200;
+                   reg [7:0] m = 0;
+                   reg [7:0] falls = 0;
+                   always @(posedge clock) a <= a + 7;
+                   always @(negedge clock) falls <= falls + 1;
+                   always @* begin
+                       if (a > b) m = a; else m = b;
+                   end
+                   assign biggest = m;
+               endmodule"#,
+            "M",
+            "clock",
+            80,
+            &[],
+        );
+    }
+
+    #[test]
+    fn random_and_time_match_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock);
+                   reg [31:0] r = 0;
+                   reg [63:0] t = 0;
+                   always @(posedge clock) begin
+                       r <= r ^ $random;
+                       t <= t + $time;
+                   end
+               endmodule"#,
+            "M",
+            "clock",
+            25,
+            &[],
+        );
+    }
+
+    #[test]
+    fn concat_lvalues_and_replication_match_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock);
+                   reg [7:0] hi = 0;
+                   reg [7:0] lo = 1;
+                   reg [15:0] w = 16'ha55a;
+                   always @(posedge clock) begin
+                       {hi, lo} = w + {2{lo[3:0]}};
+                       w <= {lo, hi};
+                   end
+               endmodule"#,
+            "M",
+            "clock",
+            40,
+            &[],
+        );
+    }
+
+    #[test]
+    fn save_yield_effects_match_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock);
+                   reg [31:0] n = 0;
+                   always @(posedge clock) begin
+                       $yield;
+                       n <= n + 1;
+                       if (n == 2) $save("ckpt");
+                   end
+               endmodule"#,
+            "M",
+            "clock",
+            6,
+            &[],
+        );
+    }
+
+    #[test]
+    fn snapshots_cross_restore_between_engines() {
+        let src = r#"module Counter(input wire clock, output wire [7:0] out);
+                         reg [7:0] count = 0;
+                         always @(posedge clock) count <= count + 3;
+                         assign out = count;
+                     endmodule"#;
+        let design = synergy_vlog::compile(src, "Counter").unwrap();
+        let mut env = BufferEnv::new();
+
+        // Interpreter state restores into the compiled engine...
+        let mut interp = Interpreter::new(design.clone());
+        for _ in 0..7 {
+            interp.tick("clock", &mut env).unwrap();
+        }
+        let mut sim = CompiledSim::new(compile(&design).unwrap());
+        sim.restore_state(&interp.save_state());
+        assert_eq!(sim.get_bits("out").unwrap().to_u64(), 21);
+        sim.tick("clock", &mut env).unwrap();
+
+        // ...and back again.
+        let mut interp2 = Interpreter::new(design);
+        interp2.restore_state(&sim.save_state());
+        assert_eq!(interp2.get_bits("count").unwrap().to_u64(), 24);
+        assert_eq!(interp2.time(), 8);
+    }
+
+    #[test]
+    fn unsupported_constructs_report_fallback_errors() {
+        // Multiple continuous drivers of one net.
+        let design = synergy_vlog::compile(
+            r#"module M(input wire clock, output wire [7:0] o);
+                   wire [7:0] a = 1;
+                   assign o = a;
+                   assign o = a + 1;
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        assert!(matches!(
+            compile(&design),
+            Err(VlogError::Unsupported(msg)) if msg.contains("multiple")
+        ));
+
+        // System calls in continuous assignments defeat dirty-bit scheduling.
+        let design = synergy_vlog::compile(
+            r#"module M(input wire clock, output wire [31:0] o);
+                   assign o = $random;
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        assert!(matches!(compile(&design), Err(VlogError::Unsupported(_))));
+    }
+
+    #[test]
+    fn combinational_loop_is_rejected() {
+        let design = synergy_vlog::compile(
+            r#"module M(input wire clock, output wire [7:0] o);
+                   wire [7:0] a;
+                   wire [7:0] b;
+                   assign a = b + 1;
+                   assign b = a + 1;
+                   assign o = a;
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        assert!(matches!(
+            compile(&design),
+            Err(VlogError::Unsupported(msg)) if msg.contains("loop")
+        ));
+    }
+
+    #[test]
+    fn ir_is_levelized() {
+        let prog = compile_src(
+            r#"module M(input wire [7:0] a, output wire [7:0] d);
+                   wire [7:0] b = a + 1;
+                   wire [7:0] c = b * 2;
+                   assign d = c - 1;
+               endmodule"#,
+            "M",
+        );
+        assert_eq!(prog.num_comb_nodes(), 3);
+        assert_eq!(prog.max_level(), 3);
+        assert!(prog.op_count() > 0);
+        assert!(prog.slot("d").is_some());
+        assert_eq!(prog.num_always(), 0);
+        assert!(prog.num_nets() >= 4);
+        assert_eq!(prog.num_mems(), 0);
+    }
+
+    #[test]
+    fn dirty_bits_only_rewake_affected_cones() {
+        // Two independent cones; poking one input must not disturb the other.
+        let design = synergy_vlog::compile(
+            r#"module M(input wire [7:0] a, input wire [7:0] b,
+                        output wire [7:0] x, output wire [7:0] y);
+                   assign x = a + 1;
+                   assign y = b + 1;
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        let mut sim = CompiledSim::new(compile(&design).unwrap());
+        let mut env = BufferEnv::new();
+        sim.settle(&mut env).unwrap();
+        sim.set("a", Bits::from_u64(8, 5)).unwrap();
+        sim.settle(&mut env).unwrap();
+        assert_eq!(sim.get_bits("x").unwrap().to_u64(), 6);
+        assert_eq!(sim.get_bits("y").unwrap().to_u64(), 1);
+    }
+
+    #[test]
+    fn poking_a_driven_net_rewakes_its_driver() {
+        // Writing a continuously driven net must not stick: the next
+        // propagation re-imposes the assigned value, as in the interpreter.
+        let src = r#"module M(input wire [7:0] a, output wire [7:0] o, output wire [7:0] oo);
+                         assign o = a + 1;
+                         assign oo = o * 2;
+                     endmodule"#;
+        let design = synergy_vlog::compile(src, "M").unwrap();
+        let mut interp = Interpreter::new(design.clone());
+        let mut sim = CompiledSim::new(compile(&design).unwrap());
+        let mut env = BufferEnv::new();
+        for eng in [true, false] {
+            if eng {
+                interp.settle(&mut env).unwrap();
+                interp.set("o", Bits::from_u64(8, 99)).unwrap();
+                interp.settle(&mut env).unwrap();
+            } else {
+                sim.settle(&mut env).unwrap();
+                sim.set("o", Bits::from_u64(8, 99)).unwrap();
+                sim.settle(&mut env).unwrap();
+            }
+        }
+        assert_eq!(interp.get_bits("o").unwrap(), sim.get_bits("o").unwrap());
+        assert_eq!(sim.get_bits("o").unwrap().to_u64(), 1);
+        assert_eq!(sim.get_bits("oo").unwrap().to_u64(), 2);
+    }
+
+    #[test]
+    fn finish_effect_and_exit_code_surface() {
+        let design = synergy_vlog::compile(
+            r#"module M(input wire clock);
+                   reg [7:0] n = 0;
+                   always @(posedge clock) begin
+                       n <= n + 1;
+                       if (n == 3) $finish(7);
+                   end
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        let mut sim = CompiledSim::new(compile(&design).unwrap());
+        let mut env = BufferEnv::new();
+        for _ in 0..10 {
+            sim.tick("clock", &mut env).unwrap();
+            if sim.finished().is_some() {
+                break;
+            }
+        }
+        assert_eq!(sim.finished(), Some(7));
+        assert!(sim
+            .take_effects()
+            .iter()
+            .any(|e| matches!(e, TaskEffect::Finish(7))));
+    }
+}

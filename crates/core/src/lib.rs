@@ -20,6 +20,7 @@
 //! |-------|-------|---------------|
 //! | Verilog frontend | [`vlog`] | §2 |
 //! | Software engine (interpreter) | [`interp`] | §2.1 |
+//! | Compiled software engine (netlist IR + bytecode) | [`codegen`] | §2.1 |
 //! | Compiler transformations | [`transform`] | §3 |
 //! | Simulated FPGA substrate | [`fpga`] | §5.1, §6 |
 //! | Runtime + engines | [`runtime`] | §2.1, §3.5 |
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use synergy_amorphos as amorphos;
+pub use synergy_codegen as codegen;
 pub use synergy_fpga as fpga;
 pub use synergy_hv as hv;
 pub use synergy_interp as interp;
@@ -53,9 +55,10 @@ pub use synergy_vlog as vlog;
 pub use synergy_workloads as workloads;
 
 pub use synergy_amorphos::DomainId;
+pub use synergy_codegen::{CompiledProgram, CompiledSim};
 pub use synergy_fpga::{BitstreamCache, Device, RamStyle, SynthOptions, SynthReport};
 pub use synergy_hv::{AppId, Cluster, DeployOutcome, Hypervisor, NodeId, RoundStats};
-pub use synergy_runtime::{ExecMode, Runtime, RuntimeEvent};
+pub use synergy_runtime::{EnginePolicy, ExecMode, Runtime, RuntimeEvent};
 pub use synergy_transform::{transform as transform_design, TransformOptions, Transformed};
 pub use synergy_vlog::{Bits, VlogError};
 pub use synergy_workloads::{Benchmark, Style};
@@ -129,6 +132,14 @@ impl SynergyVm {
         self.stream_len = len.max(1);
     }
 
+    /// Sets the software-engine selection policy for every node: under
+    /// [`EnginePolicy::Auto`] programs that are not resident on a fabric run
+    /// on the compiled engine (falling back to the interpreter for designs
+    /// with uncompilable constructs) instead of being interpreted.
+    pub fn set_engine_policy(&mut self, policy: EnginePolicy) {
+        self.cluster.set_engine_policy(policy);
+    }
+
     /// Adds a device (node) to the deployment.
     pub fn add_device(&mut self, device: Device) -> NodeId {
         self.cluster.add_node(device)
@@ -167,7 +178,10 @@ impl SynergyVm {
             &bench.clock,
         )?;
         if let Some(path) = &bench.input_path {
-            runtime.add_file(path.clone(), synergy_workloads::input_data(&bench.name, self.stream_len));
+            runtime.add_file(
+                path.clone(),
+                synergy_workloads::input_data(&bench.name, self.stream_len),
+            );
         }
         // Streaming benchmarks open their input in software before any migration,
         // exactly as the paper's workflow does.
@@ -175,7 +189,10 @@ impl SynergyVm {
         let domain = DomainId(self.next_domain);
         self.next_domain += 1;
         let io_bound = bench.style == Style::Streaming;
-        Ok(self.cluster.node_mut(node).connect(runtime, domain, io_bound))
+        Ok(self
+            .cluster
+            .node_mut(node)
+            .connect(runtime, domain, io_bound))
     }
 
     /// Launches an arbitrary Verilog program on a node (software execution).
@@ -310,6 +327,24 @@ mod tests {
         assert_eq!(vm.metric(f1, app).unwrap(), before);
         vm.run_round(f1, 0.0001).unwrap();
         assert!(vm.metric(f1, app).unwrap() > before);
+    }
+
+    #[test]
+    fn engine_policy_runs_benchmarks_on_the_compiled_engine() {
+        let mut vm = SynergyVm::new();
+        vm.set_stream_len(1024);
+        vm.set_engine_policy(EnginePolicy::Auto);
+        let node = vm.add_device(Device::f1());
+        let app = vm.launch_benchmark(node, "bitcoin", false).unwrap();
+        assert_eq!(vm.app(node, app).unwrap().mode(), ExecMode::Compiled);
+        vm.run_round(node, 0.001).unwrap();
+        assert!(vm.metric(node, app).unwrap() > 0);
+        // Deployment still moves the program onward to hardware.
+        vm.deploy(node, app).unwrap();
+        assert_eq!(
+            vm.app(node, app).unwrap().mode(),
+            ExecMode::Hardware("f1".into())
+        );
     }
 
     #[test]

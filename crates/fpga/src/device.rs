@@ -125,12 +125,26 @@ impl Device {
         }
     }
 
+    /// A software-only "device" modelling the compiled software engine
+    /// (levelized netlist + bytecode): still host-resident, but roughly an
+    /// order of magnitude faster virtual clock than tree-walking
+    /// interpretation.
+    pub fn compiled() -> Device {
+        Device {
+            name: "compiled".into(),
+            max_clock_hz: 1_000_000,
+            clock_steps_hz: vec![1_000_000],
+            ..Device::software()
+        }
+    }
+
     /// Looks up a built-in device by name.
     pub fn by_name(name: &str) -> Option<Device> {
         match name {
             "de10" => Some(Device::de10()),
             "f1" => Some(Device::f1()),
             "software" => Some(Device::software()),
+            "compiled" => Some(Device::compiled()),
             _ => None,
         }
     }
@@ -181,10 +195,19 @@ mod tests {
 
     #[test]
     fn by_name_round_trips() {
-        for name in ["de10", "f1", "software"] {
+        for name in ["de10", "f1", "software", "compiled"] {
             assert_eq!(Device::by_name(name).unwrap().name, name);
         }
         assert!(Device::by_name("unknown").is_none());
+    }
+
+    #[test]
+    fn compiled_device_sits_between_interpreter_and_hardware() {
+        let compiled = Device::compiled();
+        assert!(compiled.max_clock_hz > Device::software().max_clock_hz);
+        assert!(compiled.max_clock_hz < Device::de10().max_clock_hz);
+        assert_eq!(compiled.transport, Transport::Software);
+        assert_eq!(compiled.reconfig_latency_ns, 0);
     }
 
     #[test]
@@ -200,12 +223,18 @@ mod tests {
         assert_eq!(f1.quantize_clock(250_000_000), 250_000_000);
         assert_eq!(f1.quantize_clock(200_000_000), 187_500_000);
         assert_eq!(f1.quantize_clock(130_000_000), 125_000_000);
-        assert_eq!(f1.quantize_clock(10_000_000), 62_500_000, "never below the last step");
+        assert_eq!(
+            f1.quantize_clock(10_000_000),
+            62_500_000,
+            "never below the last step"
+        );
     }
 
     #[test]
     fn transport_latencies_ordered() {
-        assert!(Transport::Software.request_latency_ns() < Transport::AvalonMm.request_latency_ns());
+        assert!(
+            Transport::Software.request_latency_ns() < Transport::AvalonMm.request_latency_ns()
+        );
         assert!(Transport::AvalonMm.request_latency_ns() < Transport::Pcie.request_latency_ns());
     }
 }

@@ -215,7 +215,9 @@ impl Fabric {
             .map(|d| d.bitstream.report.achieved_hz)
             .min()
             .unwrap_or(self.device.max_clock_hz);
-        self.global_clock_hz = self.device.quantize_clock(slowest.min(self.device.max_clock_hz));
+        self.global_clock_hz = self
+            .device
+            .quantize_clock(slowest.min(self.device.max_clock_hz));
     }
 
     /// Converts fabric cycles at the current global clock into nanoseconds.
@@ -283,8 +285,12 @@ mod tests {
     #[test]
     fn loading_accumulates_utilization() {
         let mut fabric = Fabric::new(Device::f1());
-        fabric.load("a", bitstream("a", 100_000, 250_000_000)).unwrap();
-        fabric.load("b", bitstream("b", 200_000, 250_000_000)).unwrap();
+        fabric
+            .load("a", bitstream("a", 100_000, 250_000_000))
+            .unwrap();
+        fabric
+            .load("b", bitstream("b", 200_000, 250_000_000))
+            .unwrap();
         let u = fabric.utilization();
         assert_eq!(u.luts, 300_000);
         assert_eq!(fabric.loaded(), vec!["a", "b"]);
@@ -294,8 +300,12 @@ mod tests {
     #[test]
     fn oversubscription_is_rejected() {
         let mut fabric = Fabric::new(Device::de10());
-        fabric.load("a", bitstream("a", 100_000, 50_000_000)).unwrap();
-        let err = fabric.load("b", bitstream("b", 50_000, 50_000_000)).unwrap_err();
+        fabric
+            .load("a", bitstream("a", 100_000, 50_000_000))
+            .unwrap();
+        let err = fabric
+            .load("b", bitstream("b", 50_000, 50_000_000))
+            .unwrap_err();
         assert!(matches!(err, FabricError::InsufficientResources { .. }));
         assert_eq!(fabric.loaded().len(), 1);
     }
@@ -315,7 +325,9 @@ mod tests {
         // The Figure 12 effect: adding a design that only meets 125 MHz drags the
         // whole fabric down; removing it restores the clock.
         let mut fabric = Fabric::new(Device::f1());
-        fabric.load("df", bitstream("df", 50_000, 250_000_000)).unwrap();
+        fabric
+            .load("df", bitstream("df", 50_000, 250_000_000))
+            .unwrap();
         fabric
             .load("bitcoin", bitstream("bitcoin", 60_000, 250_000_000))
             .unwrap();
@@ -332,13 +344,18 @@ mod tests {
     #[test]
     fn unload_unknown_design_errors() {
         let mut fabric = Fabric::new(Device::f1());
-        assert!(matches!(fabric.unload("ghost"), Err(FabricError::NotLoaded(_))));
+        assert!(matches!(
+            fabric.unload("ghost"),
+            Err(FabricError::NotLoaded(_))
+        ));
     }
 
     #[test]
     fn cycles_convert_at_global_clock() {
         let mut fabric = Fabric::new(Device::f1());
-        fabric.load("slow", bitstream("slow", 10, 125_000_000)).unwrap();
+        fabric
+            .load("slow", bitstream("slow", 10, 125_000_000))
+            .unwrap();
         assert_eq!(fabric.cycles_to_ns(125_000_000), 1_000_000_000);
     }
 

@@ -163,8 +163,7 @@ pub fn estimate(module: &ElabModule, device: &Device, options: SynthOptions) -> 
     // Deterministic jitter models run-to-run compiler volatility (§6.4 notes nw
     // sometimes beats native because of it).
     let jitter = (fingerprint(&module.name, luts) % 600) as i64 - 300;
-    let critical_path_ps =
-        ((base_ps + depth_ps + congestion_ps) as i64 + jitter).max(1_000) as u64;
+    let critical_path_ps = ((base_ps + depth_ps + congestion_ps) as i64 + jitter).max(1_000) as u64;
 
     let raw_hz = 1_000_000_000_000u64 / critical_path_ps;
     let met_timing_at_target = raw_hz >= options.target_hz;
@@ -337,10 +336,7 @@ impl<'a> CostModel<'a> {
                 self.luts += 1;
                 d + 1
             }
-            Expr::Slice(base, hi, lo) => {
-                let d = self.expr(base).max(self.expr(hi)).max(self.expr(lo));
-                d
-            }
+            Expr::Slice(base, hi, lo) => self.expr(base).max(self.expr(hi)).max(self.expr(lo)),
             Expr::Unary(op, a) => {
                 let w = self.width(a);
                 let d = self.expr(a);
@@ -382,9 +378,7 @@ impl<'a> CostModel<'a> {
             }
             Expr::Concat(parts) => parts.iter().map(|p| self.expr(p)).max().unwrap_or(0),
             Expr::Replicate(n, e) => self.expr(n).max(self.expr(e)),
-            Expr::SystemCall(_, args) => {
-                args.iter().map(|a| self.expr(a)).max().unwrap_or(0)
-            }
+            Expr::SystemCall(_, args) => args.iter().map(|a| self.expr(a)).max().unwrap_or(0),
         }
     }
 }

@@ -12,7 +12,7 @@ use crate::hypervisor::{AppId, DeployOutcome, HvError, Hypervisor};
 use serde::{Deserialize, Serialize};
 use synergy_amorphos::DomainId;
 use synergy_fpga::{BitstreamCache, Device};
-use synergy_runtime::Runtime;
+use synergy_runtime::{EnginePolicy, Runtime};
 
 /// Identifies a node (one device + hypervisor) within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -22,6 +22,7 @@ pub struct NodeId(pub usize);
 pub struct Cluster {
     nodes: Vec<Hypervisor>,
     cache: BitstreamCache,
+    policy: EnginePolicy,
 }
 
 impl Default for Cluster {
@@ -36,14 +37,25 @@ impl Cluster {
         Cluster {
             nodes: Vec::new(),
             cache: BitstreamCache::new(),
+            policy: EnginePolicy::Interpreter,
         }
     }
 
     /// Adds a node managing the given device.
     pub fn add_node(&mut self, device: Device) -> NodeId {
-        let hv = Hypervisor::with_cache(device, self.cache.clone());
+        let mut hv = Hypervisor::with_cache(device, self.cache.clone());
+        hv.set_engine_policy(self.policy);
         self.nodes.push(hv);
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// Sets the software-engine selection policy on every current and future
+    /// node (see [`Hypervisor::set_engine_policy`]).
+    pub fn set_engine_policy(&mut self, policy: EnginePolicy) {
+        self.policy = policy;
+        for node in &mut self.nodes {
+            node.set_engine_policy(policy);
+        }
     }
 
     /// Number of nodes in the cluster.
@@ -246,6 +258,9 @@ mod tests {
             .connect(counter_runtime("y"), DomainId(1), false);
         let second = cluster.node_mut(b).deploy(app_b).unwrap();
         assert!(!first.cache_hit);
-        assert!(second.cache_hit, "bitstreams are shared across identical nodes");
+        assert!(
+            second.cache_hit,
+            "bitstreams are shared across identical nodes"
+        );
     }
 }

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use synergy_amorphos::{DomainId, Hull, HullError, MorphletId, Quiescence};
 use synergy_fpga::{BitstreamCache, Device, Fabric, FabricError, SimClock, SynthOptions};
-use synergy_runtime::{RunReport, Runtime};
+use synergy_runtime::{EnginePolicy, ExecMode, RunReport, Runtime};
 use synergy_transform::transform;
 use synergy_vlog::VlogError;
 
@@ -144,6 +144,7 @@ pub struct Hypervisor {
     io_cursor: usize,
     handshakes: u64,
     round_tick_cap: u64,
+    policy: EnginePolicy,
 }
 
 impl Hypervisor {
@@ -170,6 +171,26 @@ impl Hypervisor {
             io_cursor: 0,
             handshakes: 0,
             round_tick_cap: 100_000,
+            policy: EnginePolicy::Interpreter,
+        }
+    }
+
+    /// Sets the software-engine selection policy for programs that are not
+    /// (or not yet) resident on the fabric: under any policy other than
+    /// [`EnginePolicy::Interpreter`] the hypervisor upgrades software-resident
+    /// programs to the compiled engine — immediately for already-connected
+    /// programs, and from then on at connect and undeploy time.
+    ///
+    /// The hypervisor never refuses a program, so the upgrade is best-effort:
+    /// designs outside the compilable envelope keep the interpreter, even
+    /// under [`EnginePolicy::Compiled`]. Strict compiled-only execution is
+    /// enforced at runtime creation ([`Runtime::with_policy`]), not here.
+    pub fn set_engine_policy(&mut self, policy: EnginePolicy) {
+        self.policy = policy;
+        for slot in self.apps.values_mut() {
+            if slot.engine.is_none() {
+                let _ = apply_software_policy(policy, &mut slot.runtime);
+            }
         }
     }
 
@@ -209,7 +230,10 @@ impl Hypervisor {
     ///
     /// `io_bound` marks streaming applications that contend on the off-device IO
     /// path and are therefore subject to temporal multiplexing (Figure 11).
-    pub fn connect(&mut self, runtime: Runtime, domain: DomainId, io_bound: bool) -> AppId {
+    pub fn connect(&mut self, mut runtime: Runtime, domain: DomainId, io_bound: bool) -> AppId {
+        // Best-effort here: connect is infallible by design (the interpreter
+        // always works); undeploy surfaces internal lowering failures.
+        let _ = apply_software_policy(self.policy, &mut runtime);
         let id = AppId(self.next_app);
         self.next_app += 1;
         self.apps.insert(
@@ -259,10 +283,7 @@ impl Hypervisor {
     pub fn monolithic_source(&self) -> String {
         let mut out = String::new();
         for entry in self.engines.values() {
-            out.push_str(&format!(
-                "// engine {} (app {})\n",
-                entry.id.0, entry.app.0
-            ));
+            out.push_str(&format!("// engine {} (app {})\n", entry.id.0, entry.app.0));
             out.push_str(&entry.source);
             out.push('\n');
         }
@@ -280,10 +301,10 @@ impl Hypervisor {
     /// or the fabric cannot admit the design.
     pub fn deploy(&mut self, id: AppId) -> Result<DeployOutcome, HvError> {
         let slot = self.apps.get_mut(&id).ok_or(HvError::UnknownApp(id.0))?;
-        if slot.engine.is_some() {
+        if let Some(engine) = slot.engine {
             // Already deployed; report the current state.
             return Ok(DeployOutcome {
-                engine: slot.engine.unwrap().0,
+                engine: engine.0,
                 latency_ns: 0,
                 cache_hit: true,
                 global_clock_hz: self.fabric.global_clock_hz(),
@@ -378,7 +399,12 @@ impl Hypervisor {
     pub fn undeploy(&mut self, id: AppId) -> Result<(), HvError> {
         let slot = self.apps.get_mut(&id).ok_or(HvError::UnknownApp(id.0))?;
         let engine = slot.engine.take().ok_or(HvError::NotDeployed(id.0))?;
-        slot.runtime.migrate_to_software();
+        // Land on the best software engine in one hop: compiled when the
+        // policy allows and the design lowers, otherwise the interpreter.
+        if self.policy == EnginePolicy::Interpreter || !apply_compiled_migration(&mut slot.runtime)?
+        {
+            slot.runtime.migrate_to_software();
+        }
         if let Some(entry) = self.engines.remove(&engine) {
             self.hull.retire(entry.morphlet)?;
         }
@@ -480,8 +506,8 @@ impl Hypervisor {
                 });
                 continue;
             }
-            let report =
-                run_for_ns(&mut slot.runtime, dt_ns, self.round_tick_cap).map_err(HvError::Compile)?;
+            let report = run_for_ns(&mut slot.runtime, dt_ns, self.round_tick_cap)
+                .map_err(HvError::Compile)?;
             if report.elapsed_ns < dt_ns {
                 slot.runtime.idle_for_ns(dt_ns - report.elapsed_ns);
             }
@@ -494,6 +520,27 @@ impl Hypervisor {
         }
         self.clock.advance_ns(dt_ns);
         Ok(stats)
+    }
+}
+
+/// Upgrades a software-resident runtime per the engine policy. Uncompilable
+/// designs keep the interpreter; internal lowering failures surface so a
+/// codegen regression cannot silently degrade the fleet.
+fn apply_software_policy(policy: EnginePolicy, runtime: &mut Runtime) -> Result<(), HvError> {
+    if policy != EnginePolicy::Interpreter && runtime.mode() == ExecMode::Software {
+        apply_compiled_migration(runtime)?;
+    }
+    Ok(())
+}
+
+/// Attempts the compiled-engine migration. Returns `Ok(false)` when the design
+/// is outside the compilable envelope (keep the current engine), `Ok(true)` on
+/// success, and an error for internal lowering failures.
+fn apply_compiled_migration(runtime: &mut Runtime) -> Result<bool, HvError> {
+    match runtime.migrate_to_compiled() {
+        Ok(_) => Ok(true),
+        Err(VlogError::Unsupported(_)) => Ok(false),
+        Err(e) => Err(HvError::Compile(e)),
     }
 }
 
@@ -521,7 +568,9 @@ fn run_for_ns(runtime: &mut Runtime, dt_ns: u64, tick_cap: u64) -> Result<RunRep
         let per_tick = (report.elapsed_ns / report.ticks).max(1);
         // Adaptive refinement: size the next hardware batch to fill the remaining
         // quantum without overshooting too far (§6.2).
-        batch = (remaining / per_tick).clamp(1, 8192).min(tick_cap - total.ticks);
+        batch = (remaining / per_tick)
+            .clamp(1, 8192)
+            .min(tick_cap - total.ticks);
     }
     Ok(total)
 }
@@ -612,7 +661,11 @@ mod tests {
         hv.deploy(a).unwrap();
         assert_eq!(hv.handshakes(), 0, "no residents to quiesce yet");
         hv.deploy(b).unwrap();
-        assert_eq!(hv.handshakes(), 1, "resident instance a must reach a safe state");
+        assert_eq!(
+            hv.handshakes(),
+            1,
+            "resident instance a must reach a safe state"
+        );
     }
 
     #[test]
@@ -635,7 +688,10 @@ mod tests {
         hv.undeploy(a).unwrap();
         assert_eq!(hv.app(a).unwrap().mode(), ExecMode::Software);
         // State survives the move back to software.
-        assert_eq!(hv.app(a).unwrap().get_bits("count").unwrap().to_u64(), before);
+        assert_eq!(
+            hv.app(a).unwrap().get_bits("count").unwrap().to_u64(),
+            before
+        );
         assert!(hv.monolithic_source().is_empty());
         assert!(matches!(hv.undeploy(a), Err(HvError::NotDeployed(_))));
     }
@@ -693,10 +749,57 @@ mod tests {
     }
 
     #[test]
+    fn engine_policy_upgrades_software_residents() {
+        let mut hv = Hypervisor::new(Device::f1());
+        hv.set_engine_policy(EnginePolicy::Auto);
+        // Connect upgrades the interpreter to the compiled engine...
+        let a = hv.connect(counter_runtime("a"), DomainId(1), false);
+        assert_eq!(hv.app(a).unwrap().mode(), ExecMode::Compiled);
+        // ...deploy moves it on to hardware...
+        hv.deploy(a).unwrap();
+        assert_eq!(hv.app(a).unwrap().mode(), ExecMode::Hardware("f1".into()));
+        hv.run_round(0.0002).unwrap();
+        let before = hv.app(a).unwrap().get_bits("count").unwrap().to_u64();
+        assert!(before > 0);
+        // ...and undeploy lands back on the compiled engine, state intact.
+        hv.undeploy(a).unwrap();
+        assert_eq!(hv.app(a).unwrap().mode(), ExecMode::Compiled);
+        assert_eq!(
+            hv.app(a).unwrap().get_bits("count").unwrap().to_u64(),
+            before
+        );
+    }
+
+    #[test]
+    fn engine_policy_upgrades_already_connected_apps() {
+        let mut hv = Hypervisor::new(Device::f1());
+        let a = hv.connect(counter_runtime("a"), DomainId(1), false);
+        assert_eq!(hv.app(a).unwrap().mode(), ExecMode::Software);
+        // Setting the policy after connect upgrades software residents too.
+        hv.set_engine_policy(EnginePolicy::Auto);
+        assert_eq!(hv.app(a).unwrap().mode(), ExecMode::Compiled);
+    }
+
+    #[test]
+    fn engine_policy_falls_back_for_streaming_designs_that_compile() {
+        // Streaming programs (file IO) are compilable too; the compiled
+        // engine services their traps through the same SystemEnv.
+        let mut hv = Hypervisor::new(Device::de10());
+        hv.set_engine_policy(EnginePolicy::Auto);
+        let a = hv.connect(streamer_runtime("s", 10_000), DomainId(1), true);
+        assert_eq!(hv.app(a).unwrap().mode(), ExecMode::Compiled);
+        hv.run_round(0.001).unwrap();
+        assert!(hv.app(a).unwrap().get_bits("reads").unwrap().to_u64() > 0);
+    }
+
+    #[test]
     fn unknown_app_operations_error() {
         let mut hv = Hypervisor::new(Device::f1());
         assert!(matches!(hv.deploy(AppId(99)), Err(HvError::UnknownApp(99))));
         assert!(matches!(hv.app(AppId(99)), Err(HvError::UnknownApp(99))));
-        assert!(matches!(hv.disconnect(AppId(99)), Err(HvError::UnknownApp(99))));
+        assert!(matches!(
+            hv.disconnect(AppId(99)),
+            Err(HvError::UnknownApp(99))
+        ));
     }
 }

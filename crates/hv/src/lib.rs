@@ -9,4 +9,6 @@ mod cluster;
 mod hypervisor;
 
 pub use cluster::{Cluster, NodeId};
-pub use hypervisor::{AppId, DeployOutcome, EngineEntry, EngineId, HvError, Hypervisor, RoundStats};
+pub use hypervisor::{
+    AppId, DeployOutcome, EngineEntry, EngineId, HvError, Hypervisor, RoundStats,
+};

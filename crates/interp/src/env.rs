@@ -107,7 +107,14 @@ impl SystemEnv for BufferEnv {
         let data = self.files.get(path).cloned().unwrap_or_default();
         let fd = self.next_fd;
         self.next_fd += 1;
-        self.streams.insert(fd, FileStream { data, pos: 0, eof: false });
+        self.streams.insert(
+            fd,
+            FileStream {
+                data,
+                pos: 0,
+                eof: false,
+            },
+        );
         fd
     }
 

@@ -470,7 +470,9 @@ impl Interpreter {
                     self.assign_lvalue(&step.lhs, v, env)?;
                     iters += 1;
                     if iters > MAX_LOOP_ITERS {
-                        return Err(VlogError::Elaborate("for loop exceeded iteration cap".into()));
+                        return Err(VlogError::Elaborate(
+                            "for loop exceeded iteration cap".into(),
+                        ));
                     }
                     if self.finished.is_some() {
                         break;
@@ -570,26 +572,7 @@ impl Interpreter {
     }
 
     fn lvalue_width(&self, lv: &LValue) -> usize {
-        match lv {
-            LValue::Ident(n) => self.module.width_of_var(n),
-            LValue::Index(n, _) => {
-                let var = self.module.var(n);
-                match var {
-                    Some(v) if v.depth.is_some() => v.width,
-                    _ => 1,
-                }
-            }
-            LValue::Slice(_, hi, lo) => {
-                let hi = synergy_vlog::parser::const_eval(hi, &|_| None)
-                    .map(|b| b.to_u64())
-                    .unwrap_or(0);
-                let lo = synergy_vlog::parser::const_eval(lo, &|_| None)
-                    .map(|b| b.to_u64())
-                    .unwrap_or(0);
-                (hi.saturating_sub(lo) as usize) + 1
-            }
-            LValue::Concat(parts) => parts.iter().map(|p| self.lvalue_width(p)).sum(),
-        }
+        lvalue_width(&self.module, lv)
     }
 
     fn assign_lvalue(
@@ -709,16 +692,7 @@ impl Interpreter {
     fn eval_expr_inner(&self, expr: &Expr, env: &mut dyn SystemEnv) -> VlogResult<Bits> {
         match expr {
             Expr::Literal(b) => Ok(b.clone()),
-            Expr::StringLit(s) => {
-                // Strings evaluate to their packed ASCII value (rarely used).
-                let mut b = Bits::zero((s.len() * 8).max(1));
-                for (i, byte) in s.bytes().rev().enumerate() {
-                    for bit in 0..8 {
-                        b.set_bit(i * 8 + bit, (byte >> bit) & 1 == 1);
-                    }
-                }
-                Ok(b)
-            }
+            Expr::StringLit(s) => Ok(string_lit_bits(s)),
             Expr::Ident(name) => match self.values.get(name) {
                 Some(v) => Ok(v.as_scalar().clone()),
                 None => Err(VlogError::Elaborate(format!("no such variable '{}'", name))),
@@ -727,9 +701,10 @@ impl Interpreter {
                 let idx_v = self.eval_expr_inner(idx, env)?.to_u64() as usize;
                 if let Expr::Ident(name) = base.as_ref() {
                     if let Some(Value::Memory(mem)) = self.values.get(name) {
-                        return Ok(mem.get(idx_v).cloned().unwrap_or_else(|| {
-                            Bits::zero(self.module.width_of_var(name))
-                        }));
+                        return Ok(mem
+                            .get(idx_v)
+                            .cloned()
+                            .unwrap_or_else(|| Bits::zero(self.module.width_of_var(name))));
                     }
                 }
                 let base_v = self.eval_expr_inner(base, env)?;
@@ -833,8 +808,43 @@ pub fn apply_binary(op: BinaryOp, a: &Bits, b: &Bits) -> Bits {
     }
 }
 
-/// Converts an expression used as a `$fread` target into an lvalue.
-fn expr_to_lvalue(expr: &Expr) -> VlogResult<LValue> {
+/// Width of an assignment target, shared with the compiled engine so both
+/// engines resolve `$fread`/concat-store widths identically.
+pub fn lvalue_width(module: &ElabModule, lv: &LValue) -> usize {
+    match lv {
+        LValue::Ident(n) => module.width_of_var(n),
+        LValue::Index(n, _) => match module.var(n) {
+            Some(v) if v.depth.is_some() => v.width,
+            _ => 1,
+        },
+        LValue::Slice(_, hi, lo) => {
+            let hi = synergy_vlog::parser::const_eval(hi, &|_| None)
+                .map(|b| b.to_u64())
+                .unwrap_or(0);
+            let lo = synergy_vlog::parser::const_eval(lo, &|_| None)
+                .map(|b| b.to_u64())
+                .unwrap_or(0);
+            (hi.saturating_sub(lo) as usize) + 1
+        }
+        LValue::Concat(parts) => parts.iter().map(|p| lvalue_width(module, p)).sum(),
+    }
+}
+
+/// The packed-ASCII value of a string literal used in expression position,
+/// shared with the compiled engine.
+pub fn string_lit_bits(s: &str) -> Bits {
+    let mut b = Bits::zero((s.len() * 8).max(1));
+    for (i, byte) in s.bytes().rev().enumerate() {
+        for bit in 0..8 {
+            b.set_bit(i * 8 + bit, (byte >> bit) & 1 == 1);
+        }
+    }
+    b
+}
+
+/// Converts an expression used as a `$fread` target into an lvalue, shared
+/// with the compiled engine.
+pub fn expr_to_lvalue(expr: &Expr) -> VlogResult<LValue> {
     match expr {
         Expr::Ident(n) => Ok(LValue::Ident(n.clone())),
         Expr::Index(base, idx) => match base.as_ref() {
@@ -847,15 +857,23 @@ fn expr_to_lvalue(expr: &Expr) -> VlogResult<LValue> {
     }
 }
 
-fn string_arg(arg: Option<&Expr>) -> String {
+/// The string payload of a system-task argument (empty for non-strings),
+/// shared with the compiled engine.
+pub fn task_string_arg(arg: Option<&Expr>) -> String {
     match arg {
         Some(Expr::StringLit(s)) => s.clone(),
         _ => String::new(),
     }
 }
 
-/// Identifiers read by a statement (used for `always @*` sensitivity).
-fn stmt_reads(stmt: &Stmt) -> Vec<String> {
+fn string_arg(arg: Option<&Expr>) -> String {
+    task_string_arg(arg)
+}
+
+/// Identifiers read by a statement, in first-read order — the `always @*`
+/// sensitivity algorithm, shared with the compiled engine so both engines
+/// watch exactly the same values.
+pub fn stmt_reads(stmt: &Stmt) -> Vec<String> {
     fn visit(stmt: &Stmt, out: &mut Vec<String>) {
         let add_expr = |e: &Expr, out: &mut Vec<String>| {
             for id in e.idents() {

@@ -40,7 +40,10 @@ mod interp;
 mod value;
 
 pub use env::{BufferEnv, SystemEnv, TaskEffect};
-pub use interp::{apply_binary, Interpreter, StateSnapshot};
+pub use interp::{
+    apply_binary, expr_to_lvalue, lvalue_width, stmt_reads, string_lit_bits, task_string_arg,
+    Interpreter, StateSnapshot,
+};
 pub use value::Value;
 
 #[cfg(test)]

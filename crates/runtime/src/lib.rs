@@ -14,5 +14,5 @@
 mod engine;
 mod runtime;
 
-pub use engine::{Engine, EngineKind, HardwareEngine, SoftwareEngine, TickReport};
-pub use runtime::{ExecMode, Profiler, RunReport, Runtime, RuntimeEvent, Sample};
+pub use engine::{CompiledEngine, Engine, EngineKind, HardwareEngine, SoftwareEngine, TickReport};
+pub use runtime::{EnginePolicy, ExecMode, Profiler, RunReport, Runtime, RuntimeEvent, Sample};

@@ -7,14 +7,16 @@
 //! virtual-clock profile the paper's experiments report (hashes/s, instructions/s,
 //! virtual frequency) against simulated wall-clock time.
 
-use crate::engine::{Engine, EngineKind, HardwareEngine, SoftwareEngine, TickReport};
+use crate::engine::{
+    CompiledEngine, Engine, EngineKind, HardwareEngine, SoftwareEngine, TickReport,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use synergy_fpga::{BitstreamCache, Device, SimClock, SynthOptions};
 use synergy_interp::{BufferEnv, StateSnapshot, TaskEffect, Value};
 use synergy_transform::{transform, TransformOptions, Transformed};
 use synergy_vlog::elaborate::ElabModule;
-use synergy_vlog::{Bits, VlogResult};
+use synergy_vlog::{Bits, VlogError, VlogResult};
 
 /// A single throughput sample recorded by the profiler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,7 +59,10 @@ impl Profiler {
 
     /// Peak virtual frequency seen so far.
     pub fn peak_virtual_hz(&self) -> f64 {
-        self.samples.iter().map(|s| s.virtual_hz).fold(0.0, f64::max)
+        self.samples
+            .iter()
+            .map(|s| s.virtual_hz)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -94,8 +99,25 @@ pub enum RuntimeEvent {
 pub enum ExecMode {
     /// Software interpretation.
     Software,
+    /// Compiled software execution (levelized netlist + bytecode).
+    Compiled,
     /// Hardware execution on the named device.
     Hardware(String),
+}
+
+/// How the runtime chooses among its software-side engines (§2.1's ladder of
+/// progressively faster engines: interpret → compiled → hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EnginePolicy {
+    /// Always interpret (the Cascade baseline and the semantic reference).
+    #[default]
+    Interpreter,
+    /// Require the compiled engine; creation fails for uncompilable designs.
+    Compiled,
+    /// Prefer the compiled engine, falling back to the interpreter for
+    /// designs outside the compilable envelope (unsynthesizable constructs
+    /// such as multiply-driven nets or combinational `$random`).
+    Auto,
 }
 
 /// The per-application runtime: program, engine, environment, and profile.
@@ -116,6 +138,10 @@ pub struct Runtime {
     checkpoints: BTreeMap<String, StateSnapshot>,
     transformed: Option<Transformed>,
     transform_options: TransformOptions,
+    /// Cached lowering for the compiled engine (mirrors `transformed` for the
+    /// hardware path), so repeated engine migrations don't re-lower.
+    compiled: Option<synergy_codegen::CompiledProgram>,
+    policy: EnginePolicy,
     finished: Option<u32>,
 }
 
@@ -133,9 +159,55 @@ impl Runtime {
         top: &str,
         clock: &str,
     ) -> VlogResult<Runtime> {
+        Self::with_policy(name, source, top, clock, EnginePolicy::Interpreter)
+    }
+
+    /// Creates a runtime with an explicit software-engine selection policy.
+    ///
+    /// Under [`EnginePolicy::Auto`] the program starts on the compiled engine
+    /// when the design is compilable and on the interpreter otherwise; under
+    /// [`EnginePolicy::Compiled`] an uncompilable design is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the source fails to parse or elaborate, or if the
+    /// policy requires the compiled engine and lowering fails.
+    pub fn with_policy(
+        name: impl Into<String>,
+        source: &str,
+        top: &str,
+        clock: &str,
+        policy: EnginePolicy,
+    ) -> VlogResult<Runtime> {
         let design = synergy_vlog::compile(source, top)?;
         let software = Device::software();
-        let engine = Box::new(SoftwareEngine::new(design.clone(), clock));
+        let mut compiled = None;
+        let (engine, device): (Box<dyn Engine>, Device) = match policy {
+            EnginePolicy::Interpreter => (
+                Box::new(SoftwareEngine::new(design.clone(), clock)),
+                software,
+            ),
+            EnginePolicy::Compiled | EnginePolicy::Auto => {
+                match synergy_codegen::compile(&design) {
+                    Ok(prog) => {
+                        compiled = Some(prog.clone());
+                        (
+                            Box::new(CompiledEngine::from_program(prog, clock)?) as Box<dyn Engine>,
+                            Device::compiled(),
+                        )
+                    }
+                    // Auto falls back to the interpreter only for designs
+                    // outside the compilable envelope; internal lowering
+                    // failures (and any failure under the strict policy)
+                    // surface to the caller.
+                    Err(VlogError::Unsupported(_)) if policy == EnginePolicy::Auto => (
+                        Box::new(SoftwareEngine::new(design.clone(), clock)),
+                        software,
+                    ),
+                    Err(e) => return Err(e),
+                }
+            }
+        };
         Ok(Runtime {
             name: name.into(),
             source: source.to_string(),
@@ -144,16 +216,23 @@ impl Runtime {
             design,
             engine,
             env: BufferEnv::new(),
-            clock_hz: software.max_clock_hz,
-            transport_ns: software.transport.request_latency_ns(),
+            clock_hz: device.max_clock_hz,
+            transport_ns: device.transport.request_latency_ns(),
             sim: SimClock::new(),
             ticks: 0,
             profiler: Profiler::default(),
             checkpoints: BTreeMap::new(),
             transformed: None,
             transform_options: TransformOptions::default(),
+            compiled,
+            policy,
             finished: None,
         })
+    }
+
+    /// The software-engine selection policy this runtime was created with.
+    pub fn engine_policy(&self) -> EnginePolicy {
+        self.policy
     }
 
     /// The application name this runtime was created with.
@@ -180,6 +259,7 @@ impl Runtime {
     pub fn mode(&self) -> ExecMode {
         match self.engine.kind() {
             EngineKind::Software => ExecMode::Software,
+            EngineKind::Compiled => ExecMode::Compiled,
             EngineKind::Hardware { device } => ExecMode::Hardware(device),
         }
     }
@@ -288,14 +368,22 @@ impl Runtime {
             for effect in self.engine.take_effects() {
                 match effect {
                     TaskEffect::Save(tag) => {
-                        let tag = if tag.is_empty() { "default".to_string() } else { tag };
+                        let tag = if tag.is_empty() {
+                            "default".to_string()
+                        } else {
+                            tag
+                        };
                         let snapshot = self.engine.save_state();
                         self.sim.advance_ns(self.state_transfer_ns(&snapshot));
                         self.checkpoints.insert(tag.clone(), snapshot);
                         events.push(RuntimeEvent::Saved(tag));
                     }
                     TaskEffect::Restart(tag) => {
-                        let tag = if tag.is_empty() { "default".to_string() } else { tag };
+                        let tag = if tag.is_empty() {
+                            "default".to_string()
+                        } else {
+                            tag
+                        };
                         if let Some(snapshot) = self.checkpoints.get(&tag).cloned() {
                             self.sim.advance_ns(self.state_transfer_ns(&snapshot));
                             self.engine.restore_state(&snapshot);
@@ -351,7 +439,7 @@ impl Runtime {
 
     fn state_transfer_ns(&self, snapshot: &StateSnapshot) -> u64 {
         // One get/set request per 64-bit word of state plus a fixed handshake.
-        let words = (snapshot.total_bits() as u64 + 63) / 64;
+        let words = (snapshot.total_bits() as u64).div_ceil(64);
         words * self.transport_ns + 10 * self.transport_ns
     }
 
@@ -410,6 +498,36 @@ impl Runtime {
         Ok(latency)
     }
 
+    /// Moves execution onto the compiled software engine (the middle rung of
+    /// the interpret → compiled → hardware ladder), carrying state across via
+    /// a snapshot. Returns the simulated latency of the transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`synergy_vlog::VlogError::Unsupported`] when the design is
+    /// outside the compilable envelope; the current engine is left untouched,
+    /// so callers can simply keep interpreting.
+    pub fn migrate_to_compiled(&mut self) -> VlogResult<u64> {
+        let program = match &self.compiled {
+            Some(p) => p.clone(),
+            None => {
+                let p = synergy_codegen::compile(&self.design)?;
+                self.compiled = Some(p.clone());
+                p
+            }
+        };
+        let mut compiled = CompiledEngine::from_program(program, &self.clock)?;
+        let snapshot = self.engine.save_state();
+        let latency = self.state_transfer_ns(&snapshot);
+        compiled.restore_state(&snapshot);
+        self.engine = Box::new(compiled);
+        let device = Device::compiled();
+        self.clock_hz = device.max_clock_hz;
+        self.transport_ns = device.transport.request_latency_ns();
+        self.sim.advance_ns(latency);
+        Ok(latency)
+    }
+
     /// Moves execution back to the software engine (used while the fabric is being
     /// reconfigured, §4.2). Returns the simulated latency of the transition.
     pub fn migrate_to_software(&mut self) -> u64 {
@@ -428,7 +546,7 @@ impl Runtime {
     /// Overrides the effective fabric clock (used by the hypervisor when the global
     /// clock changes because of co-tenants, §4.1 / Figure 12).
     pub fn set_clock_hz(&mut self, clock_hz: u64) {
-        if self.mode() != ExecMode::Software {
+        if matches!(self.mode(), ExecMode::Hardware(_)) {
             self.clock_hz = clock_hz;
         }
     }
@@ -497,6 +615,68 @@ mod tests {
         assert_eq!(rt.get_bits("count").unwrap().to_u64(), 25);
         assert_eq!(rt.ticks(), 25);
         assert!(rt.now_secs() > 0.0);
+    }
+
+    #[test]
+    fn auto_policy_starts_on_the_compiled_engine() {
+        let mut rt =
+            Runtime::with_policy("counter", COUNTER, "Counter", "clock", EnginePolicy::Auto)
+                .unwrap();
+        assert_eq!(rt.mode(), ExecMode::Compiled);
+        assert_eq!(rt.engine_policy(), EnginePolicy::Auto);
+        rt.run_ticks(25).unwrap();
+        assert_eq!(rt.get_bits("count").unwrap().to_u64(), 25);
+        // The compiled engine models a faster software clock than the
+        // interpreter.
+        assert!(rt.clock_hz() > Device::software().max_clock_hz);
+    }
+
+    #[test]
+    fn auto_policy_falls_back_to_the_interpreter() {
+        // Multiply-driven nets are outside the compilable envelope.
+        let src = r#"module M(input wire clock, output wire [7:0] o);
+                         wire [7:0] a = 1;
+                         assign o = a;
+                         assign o = a + 1;
+                     endmodule"#;
+        let rt = Runtime::with_policy("m", src, "M", "clock", EnginePolicy::Auto).unwrap();
+        assert_eq!(rt.mode(), ExecMode::Software);
+        assert!(
+            Runtime::with_policy("m", src, "M", "clock", EnginePolicy::Compiled).is_err(),
+            "strict compiled policy must surface the lowering error"
+        );
+    }
+
+    #[test]
+    fn migrate_to_compiled_preserves_state_and_speeds_up() {
+        let mut rt = Runtime::new("counter", COUNTER, "Counter", "clock").unwrap();
+        rt.run_ticks(10).unwrap();
+        let (slow, _) = rt.run_ticks(100).unwrap();
+        let latency = rt.migrate_to_compiled().unwrap();
+        assert!(latency > 0);
+        assert_eq!(rt.mode(), ExecMode::Compiled);
+        assert_eq!(rt.get_bits("count").unwrap().to_u64(), 110);
+        let (fast, _) = rt.run_ticks(100).unwrap();
+        assert!(fast.elapsed_ns < slow.elapsed_ns);
+        // Onward to hardware, and back down to the interpreter.
+        let cache = BitstreamCache::new();
+        rt.migrate_to_hardware(&Device::f1(), &cache).unwrap();
+        rt.run_ticks(5).unwrap();
+        rt.migrate_to_software();
+        assert_eq!(rt.mode(), ExecMode::Software);
+        assert_eq!(rt.get_bits("count").unwrap().to_u64(), 215);
+    }
+
+    #[test]
+    fn compiled_runtime_runs_streaming_programs() {
+        let mut rt =
+            Runtime::with_policy("sum", FILE_SUM, "M", "clock", EnginePolicy::Auto).unwrap();
+        rt.add_file("data.bin", vec![1, 2, 3, 4, 5]);
+        assert_eq!(rt.mode(), ExecMode::Compiled);
+        rt.run_to_completion(100).unwrap();
+        assert_eq!(rt.finished(), Some(0));
+        assert_eq!(rt.get_bits("sum").unwrap().to_u64(), 15);
+        assert!(rt.env.output_text().contains("15"));
     }
 
     #[test]
@@ -577,7 +757,9 @@ mod tests {
         rt.run_ticks(3).unwrap();
         rt.set("do_save", Bits::from_u64(1, 1)).unwrap();
         let (_, events) = rt.run_ticks(1).unwrap();
-        assert!(events.iter().any(|e| matches!(e, RuntimeEvent::Saved(t) if t == "ckpt")));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, RuntimeEvent::Saved(t) if t == "ckpt")));
         assert!(rt.checkpoints().contains_key("ckpt"));
     }
 

@@ -57,8 +57,8 @@ use synergy_vlog::VlogResult;
 
 pub use schedule::{merge_always, Core, CoreSection};
 pub use statemachine::{
-    emit_module, lower, lower_core, StateMachine, Terminator, TransformOptions, ABI_CONT,
-    ABI_NONE, TASK_NONE,
+    emit_module, lower, lower_core, StateMachine, Terminator, TransformOptions, ABI_CONT, ABI_NONE,
+    TASK_NONE,
 };
 pub use statevars::{analyze, StateReport, StateVar};
 
@@ -153,7 +153,12 @@ mod tests {
         assert_eq!(t.machine.tasks.len(), 3);
         // The generated source must contain the ABI plumbing of Figure 5.
         for needle in ["__state", "__task", "__done", "__abi", "__clk"] {
-            assert!(t.source.contains(needle), "missing {} in:\n{}", needle, t.source);
+            assert!(
+                t.source.contains(needle),
+                "missing {} in:\n{}",
+                needle,
+                t.source
+            );
         }
         // The elaborated output exposes the original program state untouched.
         assert!(t.elab.vars.contains_key("sum"));

@@ -39,7 +39,7 @@ pub const TASK_NONE: u64 = 0;
 const MAX_UNROLL: u64 = 1024;
 
 /// Options controlling the transformation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct TransformOptions {
     /// Strip unsynthesizable system tasks before lowering. This models the
     /// "Cascade on AmorphOS" baseline of §6.4, which avoids the state-machine
@@ -49,15 +49,6 @@ pub struct TransformOptions {
     /// §3.4, rather than only at branches that contain tasks. Costs more states
     /// (and fabric) for the same semantics.
     pub split_all_branches: bool,
-}
-
-impl Default for TransformOptions {
-    fn default() -> Self {
-        TransformOptions {
-            strip_tasks: false,
-            split_all_branches: false,
-        }
-    }
 }
 
 /// One state of the lowered machine.
@@ -585,12 +576,7 @@ pub fn lower_core(
 /// The generated module is synthesizable apart from the `__task` signalling
 /// convention, executes on the native device clock `__clk`, and preserves the
 /// semantics of the original program at virtual-clock-tick granularity.
-pub fn emit_module(
-    module: &ElabModule,
-    core: &Core,
-    machine: &StateMachine,
-    name: &str,
-) -> Module {
+pub fn emit_module(module: &ElabModule, core: &Core, machine: &StateMachine, name: &str) -> Module {
     let mut out = Module::new(name);
 
     // ---------------------------------------------------------------- ports
@@ -658,7 +644,8 @@ pub fn emit_module(
     }
 
     // State machine registers. `__state` and `__task` double as output ports.
-    out.items.push(reg_decl("__state", 16, Some(machine.final_state as u64)));
+    out.items
+        .push(reg_decl("__state", 16, Some(machine.final_state as u64)));
     out.items.push(reg_decl("__task", 16, Some(TASK_NONE)));
 
     // Edge detection: previous-value registers and edge wires (Figure 4).
@@ -1113,7 +1100,9 @@ mod tests {
         let elab = synergy_vlog::compile(&text, "M__synergy")
             .unwrap_or_else(|e| panic!("emitted module failed to elaborate: {}\n{}", e, text));
         // ABI plumbing exists.
-        for var in ["__clk", "__abi", "__task", "__state", "__done", "n", "out", "clock"] {
+        for var in [
+            "__clk", "__abi", "__task", "__state", "__done", "n", "out", "clock",
+        ] {
             assert!(elab.vars.contains_key(var), "missing {}", var);
         }
     }

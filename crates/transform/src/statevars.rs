@@ -43,7 +43,11 @@ impl StateReport {
 
     /// State bits that must be captured by `$save` / state-safe compilation.
     pub fn captured_bits(&self) -> usize {
-        self.vars.iter().filter(|v| !v.volatile).map(|v| v.bits).sum()
+        self.vars
+            .iter()
+            .filter(|v| !v.volatile)
+            .map(|v| v.bits)
+            .sum()
     }
 
     /// State bits that are volatile (managed by the application across `$yield`).
@@ -80,11 +84,11 @@ pub fn stmt_uses_yield(stmt: &Stmt) -> bool {
         }) => true,
         Stmt::Block(v) | Stmt::Fork(v) => v.iter().any(stmt_uses_yield),
         Stmt::If { then, other, .. } => {
-            stmt_uses_yield(then) || other.as_ref().map_or(false, |s| stmt_uses_yield(s))
+            stmt_uses_yield(then) || other.as_ref().is_some_and(|s| stmt_uses_yield(s))
         }
         Stmt::Case { arms, default, .. } => {
             arms.iter().any(|a| stmt_uses_yield(&a.body))
-                || default.as_ref().map_or(false, |s| stmt_uses_yield(s))
+                || default.as_ref().is_some_and(|s| stmt_uses_yield(s))
         }
         Stmt::For { body, .. } | Stmt::Repeat { body, .. } => stmt_uses_yield(body),
         _ => false,
@@ -192,6 +196,13 @@ mod tests {
         let mem = report.vars.iter().find(|v| v.name == "mem").unwrap();
         assert!(mem.is_memory);
         assert_eq!(mem.bits, 2048);
-        assert!(!report.vars.iter().find(|v| v.name == "r").unwrap().is_memory);
+        assert!(
+            !report
+                .vars
+                .iter()
+                .find(|v| v.name == "r")
+                .unwrap()
+                .is_memory
+        );
     }
 }

@@ -298,16 +298,14 @@ impl Stmt {
     pub fn contains_system_task(&self) -> bool {
         match self {
             Stmt::SystemTask(_) => true,
-            Stmt::Block(stmts) | Stmt::Fork(stmts) => {
-                stmts.iter().any(Stmt::contains_system_task)
-            }
+            Stmt::Block(stmts) | Stmt::Fork(stmts) => stmts.iter().any(Stmt::contains_system_task),
             Stmt::If { then, other, .. } => {
                 then.contains_system_task()
-                    || other.as_ref().map_or(false, |s| s.contains_system_task())
+                    || other.as_ref().is_some_and(|s| s.contains_system_task())
             }
             Stmt::Case { arms, default, .. } => {
                 arms.iter().any(|a| a.body.contains_system_task())
-                    || default.as_ref().map_or(false, |s| s.contains_system_task())
+                    || default.as_ref().is_some_and(|s| s.contains_system_task())
             }
             Stmt::For { body, .. } | Stmt::Repeat { body, .. } => body.contains_system_task(),
             _ => false,

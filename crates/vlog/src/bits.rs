@@ -35,7 +35,7 @@ pub struct Bits {
 }
 
 fn words_for(width: usize) -> usize {
-    (width + 63) / 64
+    width.div_ceil(64)
 }
 
 impl Bits {
@@ -88,10 +88,7 @@ impl Bits {
     /// Creates a value from raw little-endian words.
     pub fn from_words(width: usize, words: Vec<u64>) -> Self {
         let width = width.max(1);
-        let mut b = Bits {
-            width,
-            words,
-        };
+        let mut b = Bits { width, words };
         b.words.resize(words_for(width), 0);
         b.mask_top();
         b
@@ -464,7 +461,9 @@ impl Bits {
             }
             let d = ch.to_digit(base)? as u64;
             if base == 10 {
-                out = out.mul(&Bits::from_u64(width, 10)).add(&Bits::from_u64(width, d));
+                out = out
+                    .mul(&Bits::from_u64(width, 10))
+                    .add(&Bits::from_u64(width, d));
             } else {
                 out = out.shl(shift);
                 out = out.or(&Bits::from_u64(width, d));
@@ -476,10 +475,12 @@ impl Bits {
 
     /// Renders the value as a lowercase hexadecimal string without a prefix.
     pub fn to_hex_string(&self) -> String {
-        let digits = (self.width + 3) / 4;
+        let digits = self.width.div_ceil(4);
         let mut s = String::with_capacity(digits);
         for i in (0..digits).rev() {
-            let nib = self.slice(((i * 4) + 3).min(self.width - 1), i * 4).to_u64();
+            let nib = self
+                .slice(((i * 4) + 3).min(self.width - 1), i * 4)
+                .to_u64();
             s.push(std::char::from_digit(nib as u32, 16).unwrap());
         }
         s
@@ -553,7 +554,7 @@ impl From<u64> for Bits {
 
 impl PartialOrd for Bits {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.ucmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -693,7 +694,7 @@ mod tests {
         assert!(Bits::ones(7).reduce_and());
         assert!(!Bits::from_u64(7, 0b0111111).reduce_and());
         assert!(Bits::from_u64(7, 0b1).reduce_or());
-        assert!(Bits::from_u64(7, 0b11).reduce_xor() == false);
+        assert!(!Bits::from_u64(7, 0b11).reduce_xor());
         assert!(Bits::from_u64(7, 0b111).reduce_xor());
     }
 

@@ -129,15 +129,11 @@ pub fn width_of(expr: &Expr, lookup: &dyn Fn(&str) -> Option<usize>) -> usize {
         Expr::Ident(n) => lookup(n).unwrap_or(32),
         Expr::Index(base, _) => match base.as_ref() {
             // Memory element select keeps the element width; bit select is 1 bit.
-            Expr::Ident(n) => {
-                if lookup(n).is_some() {
-                    // Scalar bit-select: 1. Memory selects are resolved by the
-                    // caller (interpreter) which knows about depths; default to the
-                    // element width so memory reads keep their width.
-                    1
-                } else {
-                    1
-                }
+            Expr::Ident(n) if lookup(n).is_some() => {
+                // Scalar bit-select: 1. Memory selects are resolved by the
+                // caller (interpreter) which knows about depths; default to the
+                // element width so memory reads keep their width.
+                1
             }
             _ => 1,
         },
@@ -188,10 +184,7 @@ pub fn elaborate(file: &SourceFile, top: &str) -> VlogResult<ElabModule> {
         name: top.to_string(),
         ..Default::default()
     };
-    let mut ctx = Ctx {
-        file,
-        depth: 0,
-    };
+    let mut ctx = Ctx { file, depth: 0 };
     ctx.flatten(top_module, "", &mut elab, &BTreeMap::new())?;
     check_names(&elab)?;
     Ok(elab)
@@ -250,7 +243,11 @@ impl<'a> Ctx<'a> {
                 // Connected to a parent net: nothing to declare.
                 continue;
             }
-            let kind = if port.is_reg { NetKind::Reg } else { NetKind::Wire };
+            let kind = if port.is_reg {
+                NetKind::Reg
+            } else {
+                NetKind::Wire
+            };
             let info = VarInfo {
                 name: flat.clone(),
                 kind,
@@ -258,7 +255,11 @@ impl<'a> Ctx<'a> {
                 depth: None,
                 init: None,
                 non_volatile: false,
-                port: if prefix.is_empty() { Some(port.dir) } else { None },
+                port: if prefix.is_empty() {
+                    Some(port.dir)
+                } else {
+                    None
+                },
             };
             insert_var(elab, info)?;
         }
@@ -451,7 +452,11 @@ impl<'a> Ctx<'a> {
         Ok(())
     }
 
-    fn range_width(&self, range: &Option<Range>, params: &BTreeMap<String, Bits>) -> VlogResult<usize> {
+    fn range_width(
+        &self,
+        range: &Option<Range>,
+        params: &BTreeMap<String, Bits>,
+    ) -> VlogResult<usize> {
         match range {
             None => Ok(1),
             Some(r) => {
@@ -658,7 +663,10 @@ fn check_names(elab: &ElabModule) -> VlogResult<()> {
     let check_expr = |e: &Expr| -> VlogResult<()> {
         for id in e.idents() {
             if !elab.vars.contains_key(id) && !id.starts_with('`') {
-                return Err(VlogError::Elaborate(format!("undeclared identifier '{}'", id)));
+                return Err(VlogError::Elaborate(format!(
+                    "undeclared identifier '{}'",
+                    id
+                )));
             }
         }
         Ok(())
@@ -829,7 +837,11 @@ mod tests {
             "Top",
         )
         .unwrap();
-        assert!(m.vars.contains_key("s__acc"), "sub reg should be prefixed: {:?}", m.vars.keys());
+        assert!(
+            m.vars.contains_key("s__acc"),
+            "sub reg should be prefixed: {:?}",
+            m.vars.keys()
+        );
         assert_eq!(m.always.len(), 1);
         // `out` is aliased to the sub's port, so the sub's assign drives it.
         assert!(m.assigns.iter().any(|a| a.lhs.targets() == vec!["out"]));
@@ -870,10 +882,7 @@ mod tests {
         )
         .unwrap();
         assert!(m.vars.contains_key("s__a"));
-        assert!(m
-            .assigns
-            .iter()
-            .any(|a| a.lhs.targets() == vec!["s__a"]));
+        assert!(m.assigns.iter().any(|a| a.lhs.targets() == vec!["s__a"]));
     }
 
     #[test]
@@ -896,11 +905,8 @@ mod tests {
 
     #[test]
     fn duplicate_declaration_is_an_error() {
-        let err = compile(
-            "module M(input wire clock); wire a; wire a; endmodule",
-            "M",
-        )
-        .unwrap_err();
+        let err =
+            compile("module M(input wire clock); wire a; wire a; endmodule", "M").unwrap_err();
         assert!(format!("{}", err).contains("more than once"));
     }
 

@@ -35,7 +35,9 @@ pub enum VlogError {
 impl fmt::Display for VlogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VlogError::Lex { line, col, msg } => write!(f, "lex error at {}:{}: {}", line, col, msg),
+            VlogError::Lex { line, col, msg } => {
+                write!(f, "lex error at {}:{}: {}", line, col, msg)
+            }
             VlogError::Parse { line, col, msg } => {
                 write!(f, "parse error at {}:{}: {}", line, col, msg)
             }

@@ -40,8 +40,8 @@ pub enum Sym {
     Hash,
     At,
     Question,
-    Assign,     // =
-    NonBlock,   // <=  (also less-equal; disambiguated by the parser)
+    Assign,   // =
+    NonBlock, // <=  (also less-equal; disambiguated by the parser)
     Plus,
     Minus,
     Star,
@@ -158,7 +158,9 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 let name = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
                 Token::SysIdent(name)
-            } else if c.is_ascii_digit() || (c == '\'' && self.peek2().map_or(false, |d| "bodhBODH".contains(d))) {
+            } else if c.is_ascii_digit()
+                || (c == '\'' && self.peek2().is_some_and(|d| "bodhBODH".contains(d)))
+            {
                 self.lex_number()?
             } else if c == '"' {
                 self.lex_string()?
@@ -283,8 +285,9 @@ impl<'a> Lexer<'a> {
             };
             let digits = self.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
             let width = explicit_size.unwrap_or(32);
-            let bits = Bits::parse_radix(width, base, &digits)
-                .ok_or_else(|| self.err(format!("invalid digits '{}' for base {}", digits, base)))?;
+            let bits = Bits::parse_radix(width, base, &digits).ok_or_else(|| {
+                self.err(format!("invalid digits '{}' for base {}", digits, base))
+            })?;
             Ok(Token::Number(bits))
         } else {
             // Plain decimal literal: unsized, 32 bits.
@@ -462,13 +465,16 @@ mod tests {
                 Token::Number(Bits::from_u64(32, 2)),
             ]
         );
-        assert_eq!(toks("&& || == != >="), vec![
-            Token::Sym(Sym::AmpAmp),
-            Token::Sym(Sym::PipePipe),
-            Token::Sym(Sym::EqEq),
-            Token::Sym(Sym::NotEq),
-            Token::Sym(Sym::Ge),
-        ]);
+        assert_eq!(
+            toks("&& || == != >="),
+            vec![
+                Token::Sym(Sym::AmpAmp),
+                Token::Sym(Sym::PipePipe),
+                Token::Sym(Sym::EqEq),
+                Token::Sym(Sym::NotEq),
+                Token::Sym(Sym::Ge),
+            ]
+        );
     }
 
     #[test]

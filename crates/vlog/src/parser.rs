@@ -197,9 +197,7 @@ impl<'a> Parser<'a> {
                         Some(Token::Ident(s)) => Some(s),
                         Some(Token::Str(s)) => Some(s),
                         Some(Token::Number(b)) => Some(b.to_dec_string()),
-                        other => {
-                            return Err(self.err(format!("bad attribute value {:?}", other)))
-                        }
+                        other => return Err(self.err(format!("bad attribute value {:?}", other))),
                     }
                 } else {
                     None
@@ -263,7 +261,10 @@ impl<'a> Parser<'a> {
                 connections,
             })]);
         }
-        Err(self.err(format!("unexpected token in module body: {:?}", self.peek())))
+        Err(self.err(format!(
+            "unexpected token in module body: {:?}",
+            self.peek()
+        )))
     }
 
     fn decl_item(&mut self, attributes: Vec<Attribute>) -> VlogResult<Vec<Item>> {
@@ -715,7 +716,8 @@ impl<'a> Parser<'a> {
         } else if self.at_sym(Sym::Amp) && !matches!(self.peek_at(1), Some(Token::Sym(Sym::Amp))) {
             self.bump();
             Some(UnaryOp::ReduceAnd)
-        } else if self.at_sym(Sym::Pipe) && !matches!(self.peek_at(1), Some(Token::Sym(Sym::Pipe))) {
+        } else if self.at_sym(Sym::Pipe) && !matches!(self.peek_at(1), Some(Token::Sym(Sym::Pipe)))
+        {
             self.bump();
             Some(UnaryOp::ReduceOr)
         } else if self.at_sym(Sym::Caret) {
@@ -987,7 +989,10 @@ mod tests {
         "#;
         let file = parse(src).unwrap();
         let m = &file.modules[0];
-        assert!(m.items.iter().any(|i| matches!(i, Item::Always(b) if b.body.contains_system_task())));
+        assert!(m
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Always(b) if b.body.contains_system_task())));
     }
 
     #[test]

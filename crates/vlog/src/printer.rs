@@ -10,7 +10,11 @@ use std::fmt::Write as _;
 
 /// Renders a whole source file.
 pub fn print_file(file: &SourceFile) -> String {
-    file.modules.iter().map(print_module).collect::<Vec<_>>().join("\n")
+    file.modules
+        .iter()
+        .map(print_module)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Renders a single module declaration.
@@ -78,7 +82,10 @@ fn print_item(item: &Item, level: usize) -> String {
                 .as_ref()
                 .map(|e| format!(" = {}", print_expr(e)))
                 .unwrap_or_default();
-            format!("{}{}{}{} {}{}{};\n", pad, attrs, d.kind, range, d.name, mem, init)
+            format!(
+                "{}{}{}{} {}{}{};\n",
+                pad, attrs, d.kind, range, d.name, mem, init
+            )
         }
         Item::Param(p) => format!(
             "{}{} {} = {};\n",
@@ -110,7 +117,12 @@ fn print_item(item: &Item, level: usize) -> String {
                         .join(" or ")
                 )
             };
-            format!("{}always @{}\n{}", pad, events, print_stmt(&b.body, level + 1))
+            format!(
+                "{}always @{}\n{}",
+                pad,
+                events,
+                print_stmt(&b.body, level + 1)
+            )
         }
         Item::Initial(s) => format!("{}initial\n{}", pad, print_stmt(s, level + 1)),
         Item::Instance(i) => {
@@ -150,12 +162,27 @@ pub fn print_stmt(stmt: &Stmt, level: usize) -> String {
             let _ = writeln!(out, "{}join", pad);
             out
         }
-        Stmt::Blocking(a) => format!("{}{} = {};\n", pad, print_lvalue(&a.lhs), print_expr(&a.rhs)),
+        Stmt::Blocking(a) => format!(
+            "{}{} = {};\n",
+            pad,
+            print_lvalue(&a.lhs),
+            print_expr(&a.rhs)
+        ),
         Stmt::NonBlocking(a) => {
-            format!("{}{} <= {};\n", pad, print_lvalue(&a.lhs), print_expr(&a.rhs))
+            format!(
+                "{}{} <= {};\n",
+                pad,
+                print_lvalue(&a.lhs),
+                print_expr(&a.rhs)
+            )
         }
         Stmt::If { cond, then, other } => {
-            let mut out = format!("{}if ({})\n{}", pad, print_expr(cond), print_stmt(then, level + 1));
+            let mut out = format!(
+                "{}if ({})\n{}",
+                pad,
+                print_expr(cond),
+                print_stmt(then, level + 1)
+            );
             if let Some(e) = other {
                 let _ = writeln!(out, "{}else", pad);
                 out.push_str(&print_stmt(e, level + 1));
@@ -232,7 +259,11 @@ pub fn print_lvalue(lv: &LValue) -> String {
         LValue::Slice(n, a, b) => format!("{}[{}:{}]", n, print_expr(a), print_expr(b)),
         LValue::Concat(parts) => format!(
             "{{{}}}",
-            parts.iter().map(print_lvalue).collect::<Vec<_>>().join(", ")
+            parts
+                .iter()
+                .map(print_lvalue)
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
     }
 }
@@ -349,7 +380,10 @@ mod tests {
         let printed = print_file(&file);
         let reparsed = parse(&printed).unwrap();
         let printed2 = print_file(&reparsed);
-        assert_eq!(printed, printed2, "printer should be a fixed point after one round trip");
+        assert_eq!(
+            printed, printed2,
+            "printer should be a fixed point after one round trip"
+        );
     }
 
     #[test]

@@ -150,11 +150,7 @@ pub fn bitcoin() -> Benchmark {
 
 fn bitcoin_source(quiesce: bool) -> String {
     let nv = if quiesce { "(* non_volatile *) " } else { "" };
-    let yield_stmt = if quiesce {
-        "$yield;"
-    } else {
-        ";"
-    };
+    let yield_stmt = if quiesce { "$yield;" } else { ";" };
     format!(
         r#"module Bitcoin(input wire clock, output wire [31:0] hashes_lo, output wire found);
     {nv}reg [31:0] nonce = 0;
@@ -214,11 +210,7 @@ pub fn mips32() -> Benchmark {
 
 fn mips32_source(quiesce: bool) -> String {
     let nv = if quiesce { "(* non_volatile *) " } else { "" };
-    let yield_stmt = if quiesce {
-        "$yield;"
-    } else {
-        ";"
-    };
+    let yield_stmt = if quiesce { "$yield;" } else { ";" };
     format!(
         r#"module Mips32(input wire clock, output wire [31:0] instret_lo, output wire [31:0] runs_out);
     reg [31:0] dmem [0:63];
@@ -298,11 +290,7 @@ pub fn df() -> Benchmark {
 
 fn df_source(quiesce: bool) -> String {
     let nv = if quiesce { "(* non_volatile *) " } else { "" };
-    let yield_stmt = if quiesce {
-        "$yield;"
-    } else {
-        ";"
-    };
+    let yield_stmt = if quiesce { "$yield;" } else { ";" };
     format!(
         r#"module Df(input wire clock, output wire [31:0] ops_lo, output wire [63:0] acc_out);
     {nv}reg [63:0] ops = 0;
@@ -355,11 +343,7 @@ pub fn adpcm() -> Benchmark {
 
 fn adpcm_source(quiesce: bool) -> String {
     let nv = if quiesce { "(* non_volatile *) " } else { "" };
-    let yield_stmt = if quiesce {
-        "$yield;"
-    } else {
-        ";"
-    };
+    let yield_stmt = if quiesce { "$yield;" } else { ";" };
     format!(
         r#"module Adpcm(input wire clock, output wire [31:0] samples_lo, output wire [31:0] errsum_lo);
     integer fd = $fopen("adpcm_input.bin");
@@ -450,11 +434,7 @@ pub fn nw() -> Benchmark {
 
 fn nw_source(quiesce: bool) -> String {
     let nv = if quiesce { "(* non_volatile *) " } else { "" };
-    let yield_stmt = if quiesce {
-        "$yield;"
-    } else {
-        ";"
-    };
+    let yield_stmt = if quiesce { "$yield;" } else { ";" };
     format!(
         r#"module Nw(input wire clock, output wire [31:0] alignments_lo, output wire [31:0] score_out);
     integer fd = $fopen("nw_input.bin");
@@ -530,11 +510,7 @@ pub fn regex() -> Benchmark {
 
 fn regex_source(quiesce: bool) -> String {
     let nv = if quiesce { "(* non_volatile *) " } else { "" };
-    let yield_stmt = if quiesce {
-        "$yield;"
-    } else {
-        ";"
-    };
+    let yield_stmt = if quiesce { "$yield;" } else { ";" };
     format!(
         r#"module Regex(input wire clock, output wire [31:0] matches_lo, output wire [31:0] reads_lo);
     integer fd = $fopen("regex_input.bin");

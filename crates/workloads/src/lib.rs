@@ -9,7 +9,9 @@
 
 mod benchmarks;
 
-pub use benchmarks::{adpcm, all, bitcoin, by_name, df, input_data, mips32, nw, regex, Benchmark, Style};
+pub use benchmarks::{
+    adpcm, all, bitcoin, by_name, df, input_data, mips32, nw, regex, Benchmark, Style,
+};
 
 #[cfg(test)]
 mod tests {
@@ -33,7 +35,10 @@ mod tests {
     #[test]
     fn all_benchmarks_are_listed_in_table_1_order() {
         let names: Vec<String> = all().into_iter().map(|b| b.name).collect();
-        assert_eq!(names, vec!["adpcm", "bitcoin", "df", "mips32", "nw", "regex"]);
+        assert_eq!(
+            names,
+            vec!["adpcm", "bitcoin", "df", "mips32", "nw", "regex"]
+        );
         assert!(by_name("bitcoin").is_some());
         assert!(by_name("missing").is_none());
     }
@@ -49,6 +54,31 @@ mod tests {
                 bench.name,
                 bench.metric_var
             );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_compiles_to_netlist_ir() {
+        // Both source variants of every workload must stay inside the
+        // compiled engine's envelope, or the runtime's Auto policy would
+        // silently degrade the hot path back to the interpreter.
+        for bench in all() {
+            for quiescent in [false, true] {
+                let design =
+                    synergy_vlog::compile(bench.source_for(quiescent), &bench.top).unwrap();
+                let prog = synergy_codegen::compile(&design).unwrap_or_else(|e| {
+                    panic!(
+                        "{} (quiescent={}) failed to lower: {}",
+                        bench.name, quiescent, e
+                    )
+                });
+                assert!(
+                    prog.num_always() >= 1,
+                    "{}: no procedural blocks",
+                    bench.name
+                );
+                assert!(prog.op_count() > 0);
+            }
         }
     }
 
@@ -69,8 +99,16 @@ mod tests {
             let quiet = synergy_vlog::compile(&bench.quiescent_source, &bench.top).unwrap();
             let plain_report = analyze(&plain);
             let quiet_report = analyze(&quiet);
-            assert!(!plain_report.uses_yield, "{} default variant must not yield", bench.name);
-            assert!(quiet_report.uses_yield, "{} quiescent variant must yield", bench.name);
+            assert!(
+                !plain_report.uses_yield,
+                "{} default variant must not yield",
+                bench.name
+            );
+            assert!(
+                quiet_report.uses_yield,
+                "{} quiescent variant must yield",
+                bench.name
+            );
             assert!(
                 quiet_report.captured_bits() < plain_report.captured_bits(),
                 "{}: quiescence should reduce captured state",
@@ -92,7 +130,10 @@ mod tests {
         let bench = mips32();
         // Enough ticks for randomise (64) + a full bubble sort pass (~2k compares).
         let (interp, _) = run_benchmark(&bench, 2_600);
-        assert!(interp.get_bits("runs_out").unwrap().to_u64() >= 1, "one sort run completes");
+        assert!(
+            interp.get_bits("runs_out").unwrap().to_u64() >= 1,
+            "one sort run completes"
+        );
         // After a completed run the array should have been re-randomised or be in
         // a sorted prefix state; check the retired-instruction counter advanced.
         assert!(interp.get_bits("instret_lo").unwrap().to_u64() >= 2_600);

@@ -42,17 +42,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("round {}: {}", round, line.join(", "));
     }
     println!("df ops:        {}", vm.read_var(f1, df, "ops_lo")?.to_u64());
-    println!("bitcoin work:  {}", vm.read_var(f1, bitcoin, "hashes_lo")?.to_u64());
-    println!("regex reads:   {}", vm.read_var(f1, regex, "reads_lo")?.to_u64());
+    println!(
+        "bitcoin work:  {}",
+        vm.read_var(f1, bitcoin, "hashes_lo")?.to_u64()
+    );
+    println!(
+        "regex reads:   {}",
+        vm.read_var(f1, regex, "reads_lo")?.to_u64()
+    );
 
     // The AmorphOS hull enforces protection between tenants: a domain cannot touch
     // another domain's Morphlet.
     let device = Device::f1();
     let mut hull = Hull::new(&device);
-    let design = synergy::vlog::compile(
-        &synergy::workloads::bitcoin().source,
-        "Bitcoin",
-    )?;
+    let design = synergy::vlog::compile(&synergy::workloads::bitcoin().source, "Bitcoin")?;
     let report = synergy::fpga::estimate(&design, &device, SynthOptions::native(&device));
     let tenant_a = hull.register(DomainId(1), "tenant-a", report, Quiescence::Transparent);
     assert!(hull.check_access(DomainId(1), tenant_a).is_ok());

@@ -48,6 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (_, events) = rt.run_ticks(12)?;
     print!("{}", rt.env.output_text());
     println!("runtime events observed: {:?}", events);
-    println!("squared output after 12 ticks: {}", rt.get_bits("out")?.to_u64());
+    println!(
+        "squared output after 12 ticks: {}",
+        rt.get_bits("out")?.to_u64()
+    );
     Ok(())
 }

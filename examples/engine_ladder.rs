@@ -1,0 +1,93 @@
+//! The engine ladder: one program migrating interpret → compiled → hardware
+//! → back, with bit-identical state at every hop, plus the Auto policy's
+//! interpreter fallback for uncompilable designs.
+//!
+//! Run with: `cargo run --example engine_ladder`
+
+use synergy::{BitstreamCache, Device, EnginePolicy, ExecMode, Runtime, SynergyVm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+        module Counter(input wire clock, output wire [31:0] out);
+            reg [31:0] count = 0;
+            always @(posedge clock) count <= count + 1;
+            assign out = count;
+        endmodule
+    "#;
+
+    // Under the Auto policy the program starts on the compiled engine
+    // (levelized netlist + bytecode) instead of the tree-walking interpreter.
+    let mut rt = Runtime::with_policy("counter", source, "Counter", "clock", EnginePolicy::Auto)?;
+    println!(
+        "start:     mode={:?}  clock={} Hz",
+        rt.mode(),
+        rt.clock_hz()
+    );
+    assert_eq!(rt.mode(), ExecMode::Compiled);
+
+    rt.run_ticks(1000)?;
+    println!(
+        "compiled:  count={} after 1000 ticks",
+        rt.get_bits("out")?.to_u64()
+    );
+
+    // Climb to hardware; state migrates through the shared snapshot format.
+    let cache = BitstreamCache::new();
+    rt.migrate_to_hardware(&Device::f1(), &cache)?;
+    rt.run_ticks(1000)?;
+    println!(
+        "hardware:  mode={:?}  count={}",
+        rt.mode(),
+        rt.get_bits("out")?.to_u64()
+    );
+
+    // And back down both rungs.
+    rt.migrate_to_software();
+    rt.run_ticks(500)?;
+    rt.migrate_to_compiled()?;
+    rt.run_ticks(500)?;
+    println!(
+        "back down: mode={:?}  count={}",
+        rt.mode(),
+        rt.get_bits("out")?.to_u64()
+    );
+    assert_eq!(rt.get_bits("out")?.to_u64(), 3000);
+
+    // A multiply-driven net is outside the compiled envelope: Auto falls back
+    // to the interpreter instead of failing.
+    let weird = r#"
+        module M(input wire clock, output wire [7:0] o);
+            wire [7:0] a = 1;
+            assign o = a;
+            assign o = a + 1;
+        endmodule
+    "#;
+    let fb = Runtime::with_policy("weird", weird, "M", "clock", EnginePolicy::Auto)?;
+    println!(
+        "fallback:  mode={:?} (uncompilable design keeps the interpreter)",
+        fb.mode()
+    );
+    assert_eq!(fb.mode(), ExecMode::Software);
+
+    // The hypervisor honors the same policy for software-resident tenants.
+    let mut vm = SynergyVm::new();
+    vm.set_stream_len(4096);
+    vm.set_engine_policy(EnginePolicy::Auto);
+    let node = vm.add_device(Device::de10());
+    let app = vm.launch_benchmark(node, "regex", false)?;
+    println!(
+        "tenant:    mode={:?} before deploy",
+        vm.app(node, app)?.mode()
+    );
+    vm.run_round(node, 0.001)?;
+    println!(
+        "tenant:    {} reads on the compiled engine",
+        vm.metric(node, app)?
+    );
+    vm.deploy(node, app)?;
+    println!(
+        "tenant:    mode={:?} after deploy",
+        vm.app(node, app)?.mode()
+    );
+    Ok(())
+}

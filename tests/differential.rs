@@ -1,0 +1,175 @@
+//! Differential tests: every Table-1 workload runs on both the reference
+//! interpreter and the compiled engine (`synergy-codegen`), and must produce
+//! bit-identical architectural state, output, effects, and exit codes —
+//! including across mid-run snapshot migration in both directions. This is
+//! the guarantee that lets the runtime's engine-selection policy move
+//! programs freely along the interpret → compiled → hardware ladder.
+
+use synergy::codegen::{compile, CompiledSim};
+use synergy::interp::{BufferEnv, Interpreter};
+use synergy::workloads;
+
+fn ticks_for(name: &str) -> usize {
+    match name {
+        // Enough to cover randomise + sort phases on the MIPS core.
+        "mips32" => 400,
+        // The NW tile loop is expensive on the tree-walking interpreter.
+        "nw" => 60,
+        _ => 250,
+    }
+}
+
+/// Runs one benchmark variant on both engines in lockstep.
+fn run_differential(quiescent: bool) {
+    for bench in workloads::all() {
+        let ticks = ticks_for(&bench.name);
+        let design = synergy::vlog::compile(bench.source_for(quiescent), &bench.top).unwrap();
+        let mut interp = Interpreter::new(design.clone());
+        let prog = compile(&design).unwrap_or_else(|e| {
+            panic!(
+                "{} must be compilable by the codegen backend: {}",
+                bench.name, e
+            )
+        });
+        let mut sim = CompiledSim::new(prog);
+
+        let mut ienv = BufferEnv::new();
+        let mut cenv = BufferEnv::new();
+        if let Some(path) = &bench.input_path {
+            let data = workloads::input_data(&bench.name, 4 * ticks);
+            ienv.add_file(path.clone(), data.clone());
+            cenv.add_file(path.clone(), data);
+        }
+
+        for t in 0..ticks {
+            interp.tick(&bench.clock, &mut ienv).unwrap();
+            sim.tick(&bench.clock, &mut cenv).unwrap();
+            // Snapshot comparison every tick would be quadratic in state
+            // size; sample the early ticks densely and then every 32nd.
+            if t < 8 || t % 32 == 0 {
+                assert_eq!(
+                    interp.save_state(),
+                    sim.save_state(),
+                    "{}: snapshots diverge at tick {} (quiescent={})",
+                    bench.name,
+                    t,
+                    quiescent
+                );
+            }
+        }
+        assert_eq!(
+            interp.save_state(),
+            sim.save_state(),
+            "{}: final snapshots diverge (quiescent={})",
+            bench.name,
+            quiescent
+        );
+        assert_eq!(
+            interp.get_bits(&bench.metric_var).unwrap(),
+            sim.get_bits(&bench.metric_var).unwrap(),
+            "{}: metric diverges",
+            bench.name
+        );
+        assert!(
+            sim.get_bits(&bench.metric_var).unwrap().to_u64() > 0,
+            "{}: compiled engine made no progress",
+            bench.name
+        );
+        assert_eq!(
+            ienv.output_text(),
+            cenv.output_text(),
+            "{}: output diverges",
+            bench.name
+        );
+        assert_eq!(
+            interp.finished(),
+            sim.finished(),
+            "{}: exit diverges",
+            bench.name
+        );
+        assert_eq!(
+            interp.take_effects(),
+            sim.take_effects(),
+            "{}: effects diverge",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn every_workload_matches_the_interpreter_bit_for_bit() {
+    run_differential(false);
+}
+
+#[test]
+fn every_quiescent_workload_matches_the_interpreter_bit_for_bit() {
+    run_differential(true);
+}
+
+/// Mid-run snapshot migration through the compiled engine behaves exactly
+/// like migration through a fresh interpreter: after warmup both lineages hop
+/// engines at the same points (re-running `initial` blocks on restore, per
+/// the reference semantics) and must stay bit-identical throughout.
+#[test]
+fn snapshots_migrate_between_engines_mid_run() {
+    for bench in workloads::all() {
+        let warmup = 40;
+        let half = 20;
+        let design = synergy::vlog::compile(&bench.source, &bench.top).unwrap();
+        let stream = workloads::input_data(&bench.name, 8 * (warmup + 2 * half));
+
+        let mut ienv = BufferEnv::new();
+        let mut cenv = BufferEnv::new();
+        if let Some(path) = &bench.input_path {
+            ienv.add_file(path.clone(), stream.clone());
+            cenv.add_file(path.clone(), stream.clone());
+        }
+
+        // Shared warmup on the interpreter.
+        let mut a = Interpreter::new(design.clone());
+        let mut b = Interpreter::new(design.clone());
+        for _ in 0..warmup {
+            a.tick(&bench.clock, &mut ienv).unwrap();
+            b.tick(&bench.clock, &mut cenv).unwrap();
+        }
+
+        // Lineage A hops onto a fresh interpreter; lineage B onto the
+        // compiled engine. Both restores re-run initial blocks.
+        let mut a2 = Interpreter::new(design.clone());
+        a2.restore_state(&a.save_state());
+        let mut sim = CompiledSim::new(compile(&design).unwrap());
+        sim.restore_state(&b.save_state());
+        for _ in 0..half {
+            a2.tick(&bench.clock, &mut ienv).unwrap();
+            sim.tick(&bench.clock, &mut cenv).unwrap();
+        }
+        assert_eq!(
+            a2.save_state(),
+            sim.save_state(),
+            "{}: compiled hop diverged from interpreter hop",
+            bench.name
+        );
+
+        // And both hop back onto fresh interpreters.
+        let mut a3 = Interpreter::new(design.clone());
+        a3.restore_state(&a2.save_state());
+        let mut b3 = Interpreter::new(design);
+        b3.restore_state(&sim.save_state());
+        for _ in 0..half {
+            a3.tick(&bench.clock, &mut ienv).unwrap();
+            b3.tick(&bench.clock, &mut cenv).unwrap();
+        }
+        assert_eq!(
+            a3.save_state(),
+            b3.save_state(),
+            "{}: lineages diverged after hopping back",
+            bench.name
+        );
+        assert_eq!(
+            ienv.output_text(),
+            cenv.output_text(),
+            "{}: output diverges",
+            bench.name
+        );
+    }
+}

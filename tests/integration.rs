@@ -73,7 +73,10 @@ fn state_round_trips_across_engines_and_devices() {
     let mut in_sw = Runtime::new("mips-sw", &bench.source, &bench.top, &bench.clock).unwrap();
     in_sw.restore(&snapshot);
 
-    assert_eq!(on_f1.get_bits("instret_lo").unwrap().to_u64(), instret_at_save);
+    assert_eq!(
+        on_f1.get_bits("instret_lo").unwrap().to_u64(),
+        instret_at_save
+    );
     on_f1.run_ticks(25).unwrap();
     in_sw.run_ticks(25).unwrap();
     assert_eq!(

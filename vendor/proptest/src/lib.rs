@@ -1,0 +1,192 @@
+//! Offline mini property-testing harness exposing the subset of the proptest
+//! API the workspace uses: the `proptest!` macro, `any::<T>()`, integer-range
+//! and `collection::vec` strategies, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros.
+//!
+//! The build container has no network access, so the real proptest cannot be
+//! fetched. This stand-in samples deterministically (seeded per test name) and
+//! asserts directly — no shrinking — which keeps the same test sources running
+//! meaningfully. See `vendor/README.md`.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic xorshift64* RNG; seeded from the test name so failures
+/// reproduce run-to-run.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates an RNG seeded from an arbitrary string (the test name).
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(seed | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// How many random cases a `proptest!` block runs per test.
+pub struct ProptestConfig {
+    /// Number of cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Overrides the number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                assert!(span > 0, "empty range strategy");
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Declares property tests: each runs its body over `config.cases` sampled
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// The commonly-imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access. The workspace only uses serde as
+//! derive annotations (`#[derive(Serialize, Deserialize)]`) — no code path
+//! serialises anything — so empty marker traits plus no-op derives keep the
+//! source identical to what would build against real serde. See
+//! `vendor/README.md`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
