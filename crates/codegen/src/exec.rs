@@ -18,6 +18,11 @@ use synergy_vlog::{Bits, VlogError, VlogResult};
 /// Upper bound on evaluate-loop iterations, mirroring the interpreter.
 const MAX_PROPAGATION_ITERS: usize = 10_000;
 
+/// Upper bound on evaluate/update rounds per settle, mirroring the
+/// interpreter's cap (same limit, same error text) so self-triggering
+/// designs fail identically on both engines.
+const MAX_SETTLE_ITERS: usize = 1_000;
+
 /// A no-op environment for guard evaluation and post-restore propagation,
 /// mirroring the interpreter's `NullEnv`.
 struct NoopEnv;
@@ -103,6 +108,12 @@ fn mark_mem(prog: &CompiledProgram, st: &mut State, mem: u32) {
         st.comb_dirty[pos as usize] = true;
         st.comb_any = true;
     }
+    // A write to a continuously driven memory re-wakes its element drivers,
+    // exactly as `mark_net` re-wakes a driven net's driver.
+    if let Some(pos) = prog.mem_driver[mem as usize] {
+        st.comb_dirty[pos as usize] = true;
+        st.comb_any = true;
+    }
 }
 
 /// Runs one bytecode program to completion.
@@ -126,6 +137,15 @@ fn exec(
                 let v = mem
                     .elems
                     .get(idx)
+                    .cloned()
+                    .unwrap_or_else(|| Val::zero(mem.width as usize));
+                st.stack.push(v);
+            }
+            Op::MemReadConst { mem, elem } => {
+                let mem = &st.mems[*mem as usize];
+                let v = mem
+                    .elems
+                    .get(*elem as usize)
                     .cloned()
                     .unwrap_or_else(|| Val::zero(mem.width as usize));
                 st.stack.push(v);
@@ -214,6 +234,18 @@ fn exec(
                     if mem.elems[idx] != new {
                         mem.elems[idx] = new;
                         mark_mem(prog, st, *i);
+                    }
+                }
+            }
+            Op::StoreMemConst { mem, elem } => {
+                let value = st.stack.pop().unwrap();
+                let idx = *elem as usize;
+                let m = &mut st.mems[*mem as usize];
+                if idx < m.elems.len() {
+                    let new = value.resize(m.width as usize);
+                    if m.elems[idx] != new {
+                        m.elems[idx] = new;
+                        mark_mem(prog, st, *mem);
                     }
                 }
             }
@@ -618,14 +650,19 @@ impl CompiledSim {
     /// # Errors
     ///
     /// Propagates errors from [`CompiledSim::evaluate`] and
-    /// [`CompiledSim::update`].
+    /// [`CompiledSim::update`], and rejects designs whose update rounds
+    /// never drain (zero-delay self-triggering edges), exactly as the
+    /// interpreter does.
     pub fn settle(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
-        loop {
+        for _ in 0..MAX_SETTLE_ITERS {
             self.evaluate(env)?;
             if !self.update(env)? {
                 return Ok(());
             }
         }
+        Err(VlogError::Elaborate(
+            "non-blocking updates did not converge (self-triggering design?)".into(),
+        ))
     }
 
     /// Advances one full virtual clock cycle on the named clock input.

@@ -221,7 +221,7 @@ pub fn concat(a: &Val, b: &Val) -> Val {
 }
 
 /// A scalar or memory slot reference in the arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SlotRef {
     /// Index into the scalar net arena.
     Net(u32),
@@ -272,6 +272,14 @@ pub enum Op {
     PushValueReg,
     /// Pop an index; push that memory element (zeros out of range).
     MemRead(u32),
+    /// Push a memory element at a compile-time-constant index (zeros out of
+    /// range). Produced when loop unrolling folds the index expression.
+    MemReadConst {
+        /// Memory slot.
+        mem: u32,
+        /// Element index.
+        elem: u32,
+    },
     /// Pop base then index; push the selected bit.
     BitSelect,
     /// Pop base; push `base[hi:lo]`.
@@ -314,6 +322,14 @@ pub enum Op {
     StoreNet(u32),
     /// Pop index then value; store into a memory element.
     StoreMem(u32),
+    /// Pop value; store into a memory element at a compile-time-constant
+    /// index (writes past the depth are dropped, as in the interpreter).
+    StoreMemConst {
+        /// Memory slot.
+        mem: u32,
+        /// Element index.
+        elem: u32,
+    },
     /// Pop index then value; store bit 0 of the value into net bit `index`.
     StoreBit(u32),
     /// Pop lo, hi, then value; store into the net's `[hi:lo]` range.
@@ -367,15 +383,16 @@ pub enum Op {
 /// A bytecode program.
 pub type Code = Vec<Op>;
 
-/// One levelized combinational node: a pure rhs program ending in a
-/// `StoreNet` of the driven net.
+/// One levelized combinational node: a *driver group* of one or more
+/// continuous assignments that write the same net or memory, concatenated in
+/// source order. A group with several members models partial drivers
+/// (constant, pairwise-disjoint bit ranges or memory elements); whole-net
+/// drivers always form single-member groups.
 #[derive(Debug, Clone)]
 pub struct CombNode {
-    /// The driven net.
-    pub target: u32,
     /// Topological level (1 + max level of the drivers it reads).
     pub level: u32,
-    /// The rhs program (ends with `StoreNet(target)`).
+    /// The concatenated pure rhs+store programs of the group's members.
     pub code: Code,
 }
 
@@ -412,6 +429,10 @@ pub struct CompiledProgram {
     pub(crate) net_driver: Vec<Option<u32>>,
     /// Memory index -> positions of nodes reading that memory.
     pub(crate) mem_deps: Vec<Vec<u32>>,
+    /// Memory index -> position of the node driving elements of it, if any
+    /// (continuous assignments to memory elements). Like `net_driver`, a
+    /// procedural write to such a memory re-wakes the driver.
+    pub(crate) mem_driver: Vec<Option<u32>>,
     pub(crate) always: Vec<AlwaysProg>,
     pub(crate) initials: Vec<Code>,
     /// Store programs for non-blocking / `$fread` targets; each starts from

@@ -358,6 +358,272 @@ mod tests {
     }
 
     #[test]
+    fn unrolled_loops_match_interpreter_with_mid_loop_finish() {
+        // $finish fires inside an unrolled loop body: the interpreter runs
+        // the step once more and exits, so the induction variable's snapshot
+        // value is sensitive to the exact unrolled control flow.
+        assert_lockstep(
+            r#"module M(input wire clock);
+                   reg [31:0] acc = 0;
+                   integer i = 0;
+                   reg [7:0] rounds = 0;
+                   always @(posedge clock) begin
+                       for (i = 0; i < 6; i = i + 1) begin
+                           acc = acc + i * i;
+                           if (acc > 40) $finish(2);
+                       end
+                       rounds <= rounds + 1;
+                   end
+               endmodule"#,
+            "M",
+            "clock",
+            8,
+            &[],
+        );
+    }
+
+    #[test]
+    fn unrolled_nested_loops_and_wrapping_induction_match_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [31:0] out);
+                   reg [31:0] grid [0:24];
+                   reg [31:0] sum = 0;
+                   integer i = 0;
+                   integer j = 0;
+                   reg [3:0] w = 0;
+                   always @(posedge clock) begin
+                       sum = 0;
+                       for (i = 1; i < 5; i = i + 1)
+                           for (j = 0; j < 5; j = j + 1) begin
+                               grid[i * 5 + j] = grid[(i - 1) * 5 + j] + i * j;
+                               sum = sum + grid[i * 5 + j];
+                           end
+                       // 4-bit induction variable wraps 14, 15, 0: the trip
+                       // count depends on width-exact step arithmetic.
+                       for (w = 14; w >= 14; w = w + 1)
+                           sum = sum + w;
+                   end
+                   assign out = sum;
+               endmodule"#,
+            "M",
+            "clock",
+            30,
+            &[],
+        );
+    }
+
+    #[test]
+    fn nonblocking_indices_in_unrolled_loops_latch_at_update_time() {
+        // `mem[i] <= i` inside an unrolled loop: the interpreter evaluates
+        // the rhs per iteration but the index at the *update* step, when i
+        // holds its exit value — every scheduled store lands on mem[4].
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [7:0] probe);
+                   reg [7:0] mem [0:7];
+                   integer i = 0;
+                   always @(posedge clock) begin
+                       for (i = 0; i < 4; i = i + 1)
+                           mem[i] <= i + 1;
+                   end
+                   assign probe = mem[4];
+               endmodule"#,
+            "M",
+            "clock",
+            5,
+            &[],
+        );
+    }
+
+    #[test]
+    fn fread_into_memory_element_inside_unrolled_loop() {
+        assert_lockstep(
+            r#"module M(input wire clock);
+                   integer fd = $fopen("burst.bin");
+                   reg [31:0] buffer [0:7];
+                   reg [31:0] total = 0;
+                   integer i = 0;
+                   always @(posedge clock) begin
+                       for (i = 0; i < 4; i = i + 1)
+                           $fread(fd, buffer[i]);
+                       total = 0;
+                       for (i = 0; i < 4; i = i + 1)
+                           total = total + buffer[i];
+                   end
+               endmodule"#,
+            "M",
+            "clock",
+            6,
+            &[("burst.bin", (1..=40).collect())],
+        );
+    }
+
+    #[test]
+    fn runtime_bounded_loops_stay_dynamic_and_match() {
+        // The bound reads a register the body's enclosing block updates, so
+        // the loop cannot unroll; the dynamic bytecode must still agree.
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [31:0] out);
+                   reg [31:0] n = 1;
+                   reg [31:0] acc = 0;
+                   integer i = 0;
+                   always @(posedge clock) begin
+                       for (i = 0; i < n; i = i + 1)
+                           acc = acc + i;
+                       n <= (n + 1) & 7;
+                   end
+                   assign out = acc;
+               endmodule"#,
+            "M",
+            "clock",
+            40,
+            &[],
+        );
+    }
+
+    #[test]
+    fn partial_continuous_drivers_match_interpreter() {
+        // Constant-disjoint bit, slice, and concat targets — including two
+        // drivers of different regions of the same net — are now inside the
+        // compiled envelope.
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [15:0] bus, output wire [7:0] hi2);
+                   reg [7:0] a = 3;
+                   reg [7:0] b = 0;
+                   wire [15:0] w;
+                   wire [7:0] h;
+                   wire [7:0] l;
+                   // The ternary in the second driver pins the driver-group
+                   // jump-rebasing path: merged member bytecode must shift
+                   // its branch targets by the preceding members' length.
+                   assign w[7:0] = a + b;
+                   assign w[15:8] = a[0] ? (a ^ 8'h5a) : (b + 8'd9);
+                   assign {h, l} = w + 16'd257;
+                   assign bus = w;
+                   assign hi2 = h ^ l;
+                   always @(posedge clock) begin
+                       a <= a + 5;
+                       b <= b + 3;
+                   end
+               endmodule"#,
+            "M",
+            "clock",
+            50,
+            &[],
+        );
+    }
+
+    #[test]
+    fn memory_element_continuous_drivers_match_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [7:0] out);
+                   reg [7:0] x = 1;
+                   reg [7:0] mem [0:3];
+                   reg [1:0] sel = 0;
+                   assign mem[0] = x + 1;
+                   assign mem[1] = x * 3;
+                   always @(posedge clock) begin
+                       // Procedural writes to the driven elements are
+                       // re-imposed by the driver, as in the interpreter.
+                       mem[0] = 7;
+                       mem[2] <= mem[0] + mem[1];
+                       x <= x + 1;
+                       sel <= sel + 1;
+                   end
+                   assign out = mem[sel];
+               endmodule"#,
+            "M",
+            "clock",
+            40,
+            &[],
+        );
+    }
+
+    #[test]
+    fn dynamic_bit_target_single_driver_matches_interpreter() {
+        assert_lockstep(
+            r#"module M(input wire clock, output wire [7:0] out);
+                   reg [2:0] pos = 0;
+                   wire [7:0] onehot;
+                   assign onehot[pos] = 1;
+                   always @(posedge clock) pos <= pos + 3;
+                   assign out = onehot;
+               endmodule"#,
+            "M",
+            "clock",
+            24,
+            &[],
+        );
+    }
+
+    #[test]
+    fn overlapping_partial_drivers_are_rejected() {
+        let design = synergy_vlog::compile(
+            r#"module M(input wire clock, output wire [7:0] o);
+                   reg [7:0] a = 1;
+                   assign o[3:0] = a[3:0];
+                   assign o[4:2] = a[6:4];
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        assert!(matches!(
+            compile(&design),
+            Err(VlogError::Unsupported(msg)) if msg.contains("multiple")
+        ));
+
+        // A dynamic region next to any other driver is conservatively
+        // rejected too (disjointness cannot be proven).
+        let design = synergy_vlog::compile(
+            r#"module M(input wire clock, input wire [2:0] i, output wire [7:0] o);
+                   assign o[i] = 1;
+                   assign o[7] = 0;
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        assert!(matches!(compile(&design), Err(VlogError::Unsupported(_))));
+    }
+
+    #[test]
+    fn bounded_loops_compile_without_loop_counters() {
+        // The nw-style dynamic program: every loop has constant bounds, so
+        // the lowering must unroll them all — no loop-counter bytecode left.
+        let prog = compile_src(
+            r#"module M(input wire clock, output wire [31:0] out);
+                   reg [31:0] dp [0:80];
+                   reg [31:0] best = 0;
+                   integer i = 0;
+                   integer j = 0;
+                   always @(posedge clock) begin
+                       for (i = 1; i < 9; i = i + 1)
+                           for (j = 1; j < 9; j = j + 1)
+                               dp[i * 9 + j] = dp[(i - 1) * 9 + (j - 1)] + i + j;
+                       best = dp[80];
+                   end
+                   assign out = best;
+               endmodule"#,
+            "M",
+        );
+        let has_loop_ops = prog.always.iter().any(|a| {
+            a.body
+                .iter()
+                .any(|op| matches!(op, Op::LoopInit(_) | Op::LoopCheck(_)))
+        });
+        assert!(!has_loop_ops, "constant-bounded loops should fully unroll");
+        let const_mem_ops = prog
+            .always
+            .iter()
+            .flat_map(|a| a.body.iter())
+            .filter(|op| matches!(op, Op::MemReadConst { .. } | Op::StoreMemConst { .. }))
+            .count();
+        assert!(
+            const_mem_ops >= 128,
+            "unrolled memory indices should fold to constant element ops, got {}",
+            const_mem_ops
+        );
+    }
+
+    #[test]
     fn unsupported_constructs_report_fallback_errors() {
         // Multiple continuous drivers of one net.
         let design = synergy_vlog::compile(
@@ -383,6 +649,31 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(compile(&design), Err(VlogError::Unsupported(_))));
+    }
+
+    #[test]
+    fn self_triggering_designs_error_identically_on_both_engines() {
+        // A zero-delay oscillator: every update round re-triggers the
+        // level-sensitive block. Neither engine can settle it; both must
+        // reject it with the *same* runtime error (error parity is part of
+        // the differential contract — and the cap keeps a hostile tenant
+        // from wedging the hypervisor).
+        let design = synergy_vlog::compile(
+            r#"module M(input wire clock);
+                   reg f = 0;
+                   always @(posedge clock) f <= 1;
+                   always @(f) f <= ~f;
+               endmodule"#,
+            "M",
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(design.clone());
+        let mut sim = CompiledSim::new(compile(&design).unwrap());
+        let mut env = BufferEnv::new();
+        let ierr = interp.tick("clock", &mut env).unwrap_err();
+        let cerr = sim.tick("clock", &mut env).unwrap_err();
+        assert_eq!(ierr.to_string(), cerr.to_string());
+        assert!(ierr.to_string().contains("did not converge"));
     }
 
     #[test]

@@ -793,6 +793,69 @@ mod tests {
     }
 
     #[test]
+    fn mixed_engine_tenants_progress_fairly_in_shared_rounds() {
+        // One tenant compiles (Auto → compiled engine); the other has a
+        // multiply-driven net (the agreeing-drivers flavour the interpreter
+        // settles but the lowering rejects), stays on the interpreter
+        // fallback, and must still get its fair share of every scheduling
+        // round with stable per-app stats.
+        let mut hv = Hypervisor::new(Device::f1());
+        hv.set_engine_policy(EnginePolicy::Auto);
+        let fast = hv.connect(counter_runtime("fast"), DomainId(1), false);
+        let dual_src = r#"module Dual(input wire clock, output wire [31:0] out);
+                              reg [31:0] count = 0;
+                              wire [31:0] o;
+                              assign o = count + 1;
+                              assign o = count + 1;
+                              always @(posedge clock) count <= count + 1;
+                              assign out = o;
+                          endmodule"#;
+        let slow = hv.connect(
+            Runtime::new("dual", dual_src, "Dual", "clock").unwrap(),
+            DomainId(2),
+            false,
+        );
+        assert_eq!(hv.app(fast).unwrap().mode(), ExecMode::Compiled);
+        assert_eq!(
+            hv.app(slow).unwrap().mode(),
+            ExecMode::Software,
+            "uncompilable tenant must keep the interpreter under Auto"
+        );
+
+        let mut fast_ticks = 0;
+        let mut slow_ticks = 0;
+        for _ in 0..3 {
+            let stats = hv.run_round(0.0005).unwrap();
+            assert_eq!(stats.len(), 2, "every tenant reports each round");
+            assert_eq!(stats[0].app, fast.0);
+            assert_eq!(stats[1].app, slow.0);
+            for s in &stats {
+                assert!(s.ran, "software-resident tenants are never descheduled");
+                assert!(s.ticks > 0, "both tenants make progress every round");
+                assert_eq!(s.tasks, 0);
+            }
+            fast_ticks += stats[0].ticks;
+            slow_ticks += stats[1].ticks;
+        }
+        assert_eq!(
+            hv.app(fast).unwrap().get_bits("count").unwrap().to_u64(),
+            fast_ticks
+        );
+        assert_eq!(
+            hv.app(slow).unwrap().get_bits("count").unwrap().to_u64(),
+            slow_ticks
+        );
+        // The engine ladder is visible in shared virtual time: the compiled
+        // tenant's modelled clock runs faster than the interpreter's.
+        assert!(
+            fast_ticks > slow_ticks,
+            "compiled tenant should out-tick the interpreter tenant ({} vs {})",
+            fast_ticks,
+            slow_ticks
+        );
+    }
+
+    #[test]
     fn unknown_app_operations_error() {
         let mut hv = Hypervisor::new(Device::f1());
         assert!(matches!(hv.deploy(AppId(99)), Err(HvError::UnknownApp(99))));

@@ -20,6 +20,13 @@ use synergy_vlog::{Bits, VlogError, VlogResult};
 const MAX_PROPAGATION_ITERS: usize = 10_000;
 /// Upper bound on procedural loop iterations (`for`/`repeat`).
 const MAX_LOOP_ITERS: u64 = 10_000_000;
+/// Upper bound on evaluate/update rounds per settle. A design that schedules
+/// new non-blocking assignments on every round (a zero-delay self-clocking
+/// oscillator, e.g. `always @(posedge f) f <= ~f;`) would otherwise hang the
+/// runtime forever; erroring keeps a hostile tenant from wedging the
+/// hypervisor. The compiled engine enforces the same cap with the same
+/// message so error behaviour stays engine-identical.
+const MAX_SETTLE_ITERS: usize = 1_000;
 
 /// A no-op environment used where system tasks cannot occur (guard expressions,
 /// post-restore wire propagation).
@@ -304,14 +311,19 @@ impl Interpreter {
     ///
     /// # Errors
     ///
-    /// Propagates errors from [`Interpreter::evaluate`] and [`Interpreter::update`].
+    /// Propagates errors from [`Interpreter::evaluate`] and
+    /// [`Interpreter::update`], and rejects designs whose update rounds never
+    /// drain (zero-delay self-triggering edges).
     pub fn settle(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
-        loop {
+        for _ in 0..MAX_SETTLE_ITERS {
             self.evaluate(env)?;
             if !self.update(env)? {
                 return Ok(());
             }
         }
+        Err(VlogError::Elaborate(
+            "non-blocking updates did not converge (self-triggering design?)".into(),
+        ))
     }
 
     /// Advances one full virtual clock cycle on the named clock input: drives it

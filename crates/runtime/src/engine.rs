@@ -164,9 +164,14 @@ impl Engine for SoftwareEngine {
 
 /// The compiled software engine: executes the levelized netlist IR and
 /// bytecode produced by `synergy-codegen`. Semantically identical to the
-/// interpreter (bit-identical snapshots), but runs the software hot path an
-/// order of magnitude faster — the middle rung of the interpret → compiled →
-/// hardware engine ladder.
+/// interpreter (bit-identical snapshots, enforced by the differential and
+/// fuzz suites), but runs the software hot path an order of magnitude
+/// faster — the middle rung of the interpret → compiled → hardware engine
+/// ladder. The envelope covers memories, bounded loops (unrolled at compile
+/// time), partial continuous drivers, and the file/output system tasks;
+/// the remaining [`VlogError::Unsupported`] surface is constructs whose
+/// reference semantics genuinely need re-interpretation (overlapping
+/// multiply-driven nets, combinational system calls, comb cycles).
 pub struct CompiledEngine {
     sim: CompiledSim,
     clock: u32,

@@ -18,6 +18,11 @@
 //!    for `$save`/`$restart` and the quiescence/volatile analysis behind the
 //!    paper's §6.3 results.
 //!
+//! The crate also hosts the loop/expression normalization analyses
+//! ([`normalize`]) shared with the compiled-engine lowering in
+//! `synergy-codegen`: interpreter-exact constant folding and bounded-loop
+//! unroll planning.
+//!
 //! The top-level entry point is [`transform`], which produces a [`Transformed`]
 //! bundle: the generated module (AST + source text + elaborated form), the state
 //! machine, the task table, and the state report.
@@ -46,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod normalize;
 pub mod schedule;
 pub mod statemachine;
 pub mod statevars;
@@ -55,6 +61,7 @@ use synergy_vlog::ast::Module;
 use synergy_vlog::elaborate::ElabModule;
 use synergy_vlog::VlogResult;
 
+pub use normalize::{fold_expr, plan_unroll, stmt_writes, UnrollPlan};
 pub use schedule::{merge_always, Core, CoreSection};
 pub use statemachine::{
     emit_module, lower, lower_core, StateMachine, Terminator, TransformOptions, ABI_CONT, ABI_NONE,

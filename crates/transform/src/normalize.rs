@@ -1,0 +1,373 @@
+//! Loop and expression normalization shared between the transformation
+//! pipeline and the compiled-engine lowering (`synergy-codegen`).
+//!
+//! The compiled engine widens its envelope by *unrolling* bounded `for`-loops
+//! at compile time: when a loop's induction variable takes a statically
+//! known sequence of values, every read of it inside the body folds to a
+//! constant, dynamic memory indices become fixed element offsets, and the
+//! per-iteration condition/step bytecode disappears. The analyses here are
+//! deliberately exact mirrors of the reference interpreter's evaluation —
+//! [`fold_expr`] reuses [`synergy_interp::apply_binary`] and friends so a
+//! folded constant is bit-identical to what the interpreter would compute,
+//! which is the property the cross-engine differential tests enforce.
+
+use synergy_interp::{apply_binary, string_lit_bits};
+use synergy_vlog::ast::{Assign, Expr, LValue, Stmt, TaskKind, UnaryOp};
+use synergy_vlog::Bits;
+
+/// A resolver for identifiers whose values are known at lowering time
+/// (enclosing unrolled-loop induction variables). Returning `None` means the
+/// identifier is a runtime value and the expression cannot fold.
+pub type ConstLookup<'a> = dyn Fn(&str) -> Option<Bits> + 'a;
+
+/// Constant-folds a pure expression, mirroring the interpreter's
+/// `eval_expr` bit for bit (width semantics, shift clamping, short-circuit
+/// ternaries). Returns `None` if the expression reads any identifier the
+/// lookup cannot resolve, indexes a memory, or contains a system call.
+///
+/// Short-circuit note: like the interpreter, only the *taken* ternary branch
+/// is evaluated, so an unfoldable (or impure) untaken branch does not defeat
+/// folding.
+pub fn fold_expr(expr: &Expr, lookup: &ConstLookup) -> Option<Bits> {
+    match expr {
+        Expr::Literal(b) => Some(b.clone()),
+        Expr::StringLit(s) => Some(string_lit_bits(s)),
+        Expr::Ident(name) => lookup(name),
+        Expr::Index(base, idx) => {
+            // Memories cannot appear here: the lookup only resolves scalar
+            // induction variables, so a memory base fails to fold and the
+            // caller falls back to runtime evaluation.
+            let base = fold_expr(base, lookup)?;
+            let idx = fold_expr(idx, lookup)?.to_u64() as usize;
+            Some(Bits::from_bool(base.bit(idx)))
+        }
+        Expr::Slice(base, hi, lo) => {
+            let base = fold_expr(base, lookup)?;
+            let hi = fold_expr(hi, lookup)?.to_u64() as usize;
+            let lo = fold_expr(lo, lookup)?.to_u64() as usize;
+            Some(base.slice(hi.max(lo), hi.min(lo)))
+        }
+        Expr::Unary(op, a) => {
+            let a = fold_expr(a, lookup)?;
+            Some(match op {
+                UnaryOp::Not => a.not(),
+                UnaryOp::LogicalNot => Bits::from_bool(!a.to_bool()),
+                UnaryOp::Neg => a.neg(),
+                UnaryOp::Plus => a,
+                UnaryOp::ReduceAnd => Bits::from_bool(a.reduce_and()),
+                UnaryOp::ReduceOr => Bits::from_bool(a.reduce_or()),
+                UnaryOp::ReduceXor => Bits::from_bool(a.reduce_xor()),
+            })
+        }
+        Expr::Binary(op, a, b) => {
+            let a = fold_expr(a, lookup)?;
+            let b = fold_expr(b, lookup)?;
+            Some(apply_binary(*op, &a, &b))
+        }
+        Expr::Ternary(c, a, b) => {
+            let c = fold_expr(c, lookup)?;
+            if c.to_bool() {
+                fold_expr(a, lookup)
+            } else {
+                fold_expr(b, lookup)
+            }
+        }
+        Expr::Concat(parts) => {
+            let mut acc: Option<Bits> = None;
+            for p in parts {
+                let v = fold_expr(p, lookup)?;
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => a.concat(&v),
+                });
+            }
+            acc
+        }
+        Expr::Replicate(n, e) => {
+            let n = fold_expr(n, lookup)?.to_u64() as usize;
+            let v = fold_expr(e, lookup)?;
+            Some(v.replicate(n))
+        }
+        Expr::SystemCall(..) => None,
+    }
+}
+
+fn lvalue_written_name(lv: &LValue, out: &mut Vec<String>) {
+    match lv {
+        LValue::Ident(n) | LValue::Index(n, _) | LValue::Slice(n, _, _) => {
+            if !out.iter().any(|x| x == n) {
+                out.push(n.clone());
+            }
+        }
+        LValue::Concat(parts) => parts.iter().for_each(|p| lvalue_written_name(p, out)),
+    }
+}
+
+/// Identifiers a statement may write: blocking and non-blocking assignment
+/// targets, `for` init/step variables, and `$fread` destinations. Used to
+/// prove an induction variable is only written by its loop's init/step.
+pub fn stmt_writes(stmt: &Stmt) -> Vec<String> {
+    fn visit(stmt: &Stmt, out: &mut Vec<String>) {
+        match stmt {
+            Stmt::Block(v) | Stmt::Fork(v) => v.iter().for_each(|s| visit(s, out)),
+            Stmt::Blocking(a) | Stmt::NonBlocking(a) => lvalue_written_name(&a.lhs, out),
+            Stmt::If { then, other, .. } => {
+                visit(then, out);
+                if let Some(e) = other {
+                    visit(e, out);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                arms.iter().for_each(|a| visit(&a.body, out));
+                if let Some(d) = default {
+                    visit(d, out);
+                }
+            }
+            Stmt::For {
+                init, step, body, ..
+            } => {
+                lvalue_written_name(&init.lhs, out);
+                lvalue_written_name(&step.lhs, out);
+                visit(body, out);
+            }
+            Stmt::Repeat { body, .. } => visit(body, out),
+            Stmt::SystemTask(t) => {
+                if t.kind == TaskKind::Fread {
+                    if let Some(target) = t.args.get(1) {
+                        match target {
+                            Expr::Ident(n) => lvalue_written_name(&LValue::Ident(n.clone()), out),
+                            Expr::Index(base, _) => {
+                                if let Expr::Ident(n) = base.as_ref() {
+                                    lvalue_written_name(&LValue::Ident(n.clone()), out);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            Stmt::Null => {}
+        }
+    }
+    let mut out = Vec::new();
+    visit(stmt, &mut out);
+    out
+}
+
+/// A fully resolved unrolling of one bounded `for`-loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnrollPlan {
+    /// The induction variable.
+    pub var: String,
+    /// The variable's value at entry to each iteration, plus one final entry:
+    /// the exit value the variable holds after the loop (so the plan has
+    /// `trip_count() + 1` values). Every value is already resized to the
+    /// variable's declared width, exactly as the interpreter's store would.
+    pub values: Vec<Bits>,
+}
+
+impl UnrollPlan {
+    /// Number of iterations the loop body executes.
+    pub fn trip_count(&self) -> usize {
+        self.values.len() - 1
+    }
+}
+
+/// Attempts to statically resolve a `for`-loop's iteration sequence.
+///
+/// Succeeds when:
+/// * init and step both assign the same plain identifier (the induction
+///   variable),
+/// * the init value, condition, and step fold under `outer` plus a binding
+///   for the induction variable (so they read nothing the body can change),
+/// * the body never writes the induction variable, and
+/// * the trip count is at most `max_iters`.
+///
+/// `var_width` must be the variable's declared width; every planned value is
+/// resized to it, mirroring the interpreter's assignment semantics.
+pub fn plan_unroll(
+    init: &Assign,
+    cond: &Expr,
+    step: &Assign,
+    body: &Stmt,
+    var_width: usize,
+    max_iters: usize,
+    outer: &ConstLookup,
+) -> Option<UnrollPlan> {
+    let LValue::Ident(var) = &init.lhs else {
+        return None;
+    };
+    let LValue::Ident(step_var) = &step.lhs else {
+        return None;
+    };
+    if var != step_var || stmt_writes(body).iter().any(|w| w == var) {
+        return None;
+    }
+    let mut current = fold_expr(&init.rhs, outer)?.resize(var_width);
+    let mut values = vec![current.clone()];
+    for _ in 0..=max_iters {
+        let bound = |name: &str| -> Option<Bits> {
+            if name == var {
+                Some(current.clone())
+            } else {
+                outer(name)
+            }
+        };
+        if !fold_expr(cond, &bound)?.to_bool() {
+            return Some(UnrollPlan {
+                var: var.clone(),
+                values,
+            });
+        }
+        let next = fold_expr(&step.rhs, &bound)?.resize(var_width);
+        current = next;
+        values.push(current.clone());
+    }
+    // Trip count exceeds the unroll budget: leave the loop dynamic.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synergy_vlog::parser::parse_expr;
+
+    fn no_outer(_: &str) -> Option<Bits> {
+        None
+    }
+
+    fn assign(var: &str, rhs: &str) -> Assign {
+        Assign {
+            lhs: LValue::Ident(var.into()),
+            rhs: parse_expr(rhs).unwrap(),
+        }
+    }
+
+    #[test]
+    fn fold_matches_interpreter_width_semantics() {
+        // (250 + 10) on 8-bit literals wraps just like the interpreter.
+        let e = Expr::Binary(
+            synergy_vlog::ast::BinaryOp::Add,
+            Box::new(Expr::Literal(Bits::from_u64(8, 250))),
+            Box::new(Expr::Literal(Bits::from_u64(8, 10))),
+        );
+        assert_eq!(fold_expr(&e, &no_outer), Some(Bits::from_u64(8, 4)));
+    }
+
+    #[test]
+    fn fold_fails_on_unbound_idents_and_system_calls() {
+        assert_eq!(fold_expr(&parse_expr("x + 1").unwrap(), &no_outer), None);
+        assert_eq!(fold_expr(&parse_expr("$random").unwrap(), &no_outer), None);
+        let with_x = |n: &str| (n == "x").then(|| Bits::from_u64(32, 5));
+        assert_eq!(
+            fold_expr(&parse_expr("x * 9 + 2").unwrap(), &with_x),
+            Some(Bits::from_u64(32, 47))
+        );
+    }
+
+    #[test]
+    fn fold_ternary_ignores_untaken_branch() {
+        let e = parse_expr("1 ? 7 : $random").unwrap();
+        assert_eq!(fold_expr(&e, &no_outer).map(|b| b.to_u64()), Some(7));
+    }
+
+    #[test]
+    fn plan_simple_counting_loop() {
+        let body = Stmt::Null;
+        let plan = plan_unroll(
+            &assign("i", "0"),
+            &parse_expr("i < 4").unwrap(),
+            &assign("i", "i + 1"),
+            &body,
+            32,
+            64,
+            &no_outer,
+        )
+        .unwrap();
+        assert_eq!(plan.trip_count(), 4);
+        assert_eq!(
+            plan.values.iter().map(Bits::to_u64).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn plan_rejects_body_writing_the_induction_variable() {
+        let body = Stmt::Blocking(assign("i", "i + 2"));
+        assert!(plan_unroll(
+            &assign("i", "0"),
+            &parse_expr("i < 4").unwrap(),
+            &assign("i", "i + 1"),
+            &body,
+            32,
+            64,
+            &no_outer,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn plan_rejects_runtime_bounds_and_huge_trips() {
+        assert!(plan_unroll(
+            &assign("i", "0"),
+            &parse_expr("i < n").unwrap(),
+            &assign("i", "i + 1"),
+            &Stmt::Null,
+            32,
+            64,
+            &no_outer,
+        )
+        .is_none());
+        assert!(plan_unroll(
+            &assign("i", "0"),
+            &parse_expr("i < 1000").unwrap(),
+            &assign("i", "i + 1"),
+            &Stmt::Null,
+            32,
+            64,
+            &no_outer,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn plan_resolves_outer_bindings_and_width_wrap() {
+        // A 4-bit induction variable wraps: i = 14, 15, 0 — the loop exits
+        // when i wraps below the bound, exactly as the interpreter iterates.
+        let plan = plan_unroll(
+            &assign("i", "base"),
+            &parse_expr("i >= 14").unwrap(),
+            &assign("i", "i + 1"),
+            &Stmt::Null,
+            4,
+            64,
+            &|n| (n == "base").then(|| Bits::from_u64(32, 14)),
+        )
+        .unwrap();
+        assert_eq!(
+            plan.values.iter().map(Bits::to_u64).collect::<Vec<_>>(),
+            vec![14, 15, 0]
+        );
+    }
+
+    #[test]
+    fn stmt_writes_sees_fread_and_nested_targets() {
+        let s = Stmt::Block(vec![
+            Stmt::Blocking(assign("a", "1")),
+            Stmt::SystemTask(synergy_vlog::ast::SystemTask {
+                kind: TaskKind::Fread,
+                args: vec![parse_expr("fd").unwrap(), parse_expr("buf").unwrap()],
+            }),
+            Stmt::If {
+                cond: parse_expr("a").unwrap(),
+                then: Box::new(Stmt::NonBlocking(assign("b", "2"))),
+                other: None,
+            },
+        ]);
+        let w = stmt_writes(&s);
+        assert!(w.contains(&"a".to_string()));
+        assert!(w.contains(&"buf".to_string()));
+        assert!(w.contains(&"b".to_string()));
+        assert!(!w.contains(&"fd".to_string()));
+    }
+}

@@ -1,0 +1,79 @@
+//! Developer utility: sweep fuzz seeds differentially (interpreter vs
+//! compiled engine) or print one seed's generated source.
+//!
+//! ```text
+//! cargo run --release -p synergy-workloads --example showseed -- 7        # print seed 7
+//! cargo run --release -p synergy-workloads --example showseed -- 0 5000  # sweep seeds 0..5000
+//! ```
+
+use synergy_interp::{BufferEnv, Interpreter};
+use synergy_workloads::{fuzz_input_data, generate_fuzz_design};
+
+fn run_seed(seed: u64, ticks: usize) -> Result<(), String> {
+    let d = generate_fuzz_design(seed);
+    let design =
+        synergy_vlog::compile(&d.source, &d.top).map_err(|e| format!("elaborate: {}", e))?;
+    let prog = synergy_codegen::compile(&design).map_err(|e| format!("lower: {}", e))?;
+    let mut interp = Interpreter::new(design);
+    let mut sim = synergy_codegen::CompiledSim::new(prog);
+    let mut ienv = BufferEnv::new();
+    let mut cenv = BufferEnv::new();
+    if let Some(path) = &d.input_path {
+        let data = fuzz_input_data(seed, ticks / 2);
+        ienv.add_file(path.clone(), data.clone());
+        cenv.add_file(path.clone(), data);
+    }
+    for t in 0..ticks {
+        // Error parity, same as tests/fuzz_differential.rs: a design both
+        // engines reject with the same message is agreement, not a failure.
+        let ir = interp.tick(&d.clock, &mut ienv);
+        let cr = sim.tick(&d.clock, &mut cenv);
+        match (&ir, &cr) {
+            (Ok(()), Ok(())) => {}
+            (Err(a), Err(b)) if a.to_string() == b.to_string() => break,
+            _ => {
+                return Err(format!(
+                    "engines disagree at tick {} (interp: {:?}, compiled: {:?})",
+                    t, ir, cr
+                ))
+            }
+        }
+        if interp.save_state() != sim.save_state() {
+            return Err(format!("snapshots diverge at tick {}", t));
+        }
+        if interp.finished() != sim.finished() {
+            return Err(format!("finish diverges at tick {}", t));
+        }
+        if interp.finished().is_some() {
+            break;
+        }
+    }
+    if ienv.output_text() != cenv.output_text() {
+        return Err("output diverges".into());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("numeric seed"))
+        .collect();
+    match args.as_slice() {
+        [seed] => println!("{}", generate_fuzz_design(*seed).source),
+        [start, end] => {
+            let mut failures = 0;
+            for seed in *start..*end {
+                if let Err(e) = run_seed(seed, 24) {
+                    failures += 1;
+                    eprintln!("seed {}: {}", seed, e);
+                }
+            }
+            println!("swept {} seeds, {} failures", end - start, failures);
+            if failures > 0 {
+                std::process::exit(1);
+            }
+        }
+        _ => eprintln!("usage: showseed <seed> | showseed <start> <end>"),
+    }
+}

@@ -8,10 +8,12 @@
 #![warn(missing_docs)]
 
 mod benchmarks;
+pub mod fuzz;
 
 pub use benchmarks::{
     adpcm, all, bitcoin, by_name, df, input_data, mips32, nw, regex, Benchmark, Style,
 };
+pub use fuzz::{fuzz_input_data, generate as generate_fuzz_design, GeneratedDesign};
 
 #[cfg(test)]
 mod tests {

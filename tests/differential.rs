@@ -7,6 +7,7 @@
 
 use synergy::codegen::{compile, CompiledSim};
 use synergy::interp::{BufferEnv, Interpreter};
+use synergy::runtime::{EnginePolicy, ExecMode, Runtime};
 use synergy::workloads;
 
 fn ticks_for(name: &str) -> usize {
@@ -104,6 +105,68 @@ fn every_workload_matches_the_interpreter_bit_for_bit() {
 #[test]
 fn every_quiescent_workload_matches_the_interpreter_bit_for_bit() {
     run_differential(true);
+}
+
+/// Every workload (both variants) must actually *run on the compiled
+/// engine* through the runtime's Auto policy — no silent interpreter
+/// fallback — and raise an identical `RuntimeEvent` stream, metric value,
+/// and output as an interpreter-policy runtime.
+#[test]
+fn workloads_use_the_compiled_engine_with_identical_event_streams() {
+    for bench in workloads::all() {
+        for quiescent in [false, true] {
+            let ticks = if bench.name == "nw" { 40 } else { 120 };
+            let mut fast = Runtime::with_policy(
+                &bench.name,
+                bench.source_for(quiescent),
+                &bench.top,
+                &bench.clock,
+                EnginePolicy::Auto,
+            )
+            .unwrap();
+            let mut slow = Runtime::with_policy(
+                &bench.name,
+                bench.source_for(quiescent),
+                &bench.top,
+                &bench.clock,
+                EnginePolicy::Interpreter,
+            )
+            .unwrap();
+            assert_eq!(
+                fast.mode(),
+                ExecMode::Compiled,
+                "{} (quiescent={}) fell back to the interpreter",
+                bench.name,
+                quiescent
+            );
+            assert_eq!(slow.mode(), ExecMode::Software);
+            if let Some(path) = &bench.input_path {
+                let data = workloads::input_data(&bench.name, 4 * ticks as usize);
+                fast.add_file(path.clone(), data.clone());
+                slow.add_file(path.clone(), data);
+            }
+            let (_, fast_events) = fast.run_ticks(ticks).unwrap();
+            let (_, slow_events) = slow.run_ticks(ticks).unwrap();
+            assert_eq!(
+                fast_events, slow_events,
+                "{}: runtime event streams diverge (quiescent={})",
+                bench.name, quiescent
+            );
+            assert_eq!(
+                fast.get_bits(&bench.metric_var).unwrap(),
+                slow.get_bits(&bench.metric_var).unwrap(),
+                "{}: metric diverges across engine policies",
+                bench.name
+            );
+            assert_eq!(
+                fast.env.output_text(),
+                slow.env.output_text(),
+                "{}: output diverges across engine policies",
+                bench.name
+            );
+            assert_eq!(fast.finished(), slow.finished());
+        }
+    }
 }
 
 /// Mid-run snapshot migration through the compiled engine behaves exactly

@@ -1,10 +1,15 @@
 //! Property-based tests over the core data structures and invariants: `Bits`
-//! arithmetic, parser/printer round-trips, state-capture round-trips, and the
-//! equivalence of software and SYNERGY-transformed hardware execution.
+//! arithmetic, parser/printer round-trips, state-capture round-trips (both
+//! within one engine and across interpreter ⇄ compiled-engine migrations),
+//! and the equivalence of software and SYNERGY-transformed hardware
+//! execution.
 
 use proptest::prelude::*;
+use synergy::codegen::{compile as codegen_compile, CompiledSim};
 use synergy::interp::{BufferEnv, Interpreter};
+use synergy::runtime::{EnginePolicy, ExecMode};
 use synergy::vlog::{parse, parser, printer, Bits};
+use synergy::workloads::generate_fuzz_design;
 use synergy::{BitstreamCache, Device, Runtime};
 
 proptest! {
@@ -125,6 +130,101 @@ proptest! {
         prop_assert_eq!(
             sw.get_bits("out").unwrap().to_u64(),
             hw.get_bits("out").unwrap().to_u64()
+        );
+    }
+
+    /// A snapshot saved on the interpreter restores into the compiled engine
+    /// (and back) mid-run with bit-identical onward execution, for random
+    /// generated designs — the property the runtime's engine-migration path
+    /// (`Runtime::migrate_to_compiled` / `migrate_to_software`) relies on.
+    #[test]
+    fn snapshots_migrate_across_engines_for_random_designs(
+        seed in any::<u64>(),
+        warmup in 1usize..10,
+        rest in 1usize..10,
+    ) {
+        let d = generate_fuzz_design(seed);
+        if d.input_path.is_some() {
+            // File-stream designs tie state to the SystemEnv's read cursor;
+            // the workload-level migration test covers those.
+            return;
+        }
+        let design = synergy::vlog::compile(&d.source, &d.top).unwrap();
+        let prog = codegen_compile(&design).unwrap();
+
+        // Two lineages warm up identically on the interpreter...
+        let mut ienv = BufferEnv::new();
+        let mut cenv = BufferEnv::new();
+        let mut a = Interpreter::new(design.clone());
+        let mut b = Interpreter::new(design.clone());
+        for _ in 0..warmup {
+            a.tick(&d.clock, &mut ienv).unwrap();
+            b.tick(&d.clock, &mut cenv).unwrap();
+        }
+
+        // ...then lineage A hops onto a fresh interpreter while lineage B
+        // hops onto the compiled engine (save on interp → restore on
+        // compiled).
+        let mut a2 = Interpreter::new(design.clone());
+        a2.restore_state(&a.save_state());
+        let mut sim = CompiledSim::new(prog);
+        sim.restore_state(&b.save_state());
+        for _ in 0..rest {
+            a2.tick(&d.clock, &mut ienv).unwrap();
+            sim.tick(&d.clock, &mut cenv).unwrap();
+        }
+        prop_assert_eq!(a2.save_state(), sim.save_state());
+
+        // And back: save on compiled → restore on a fresh interpreter.
+        let mut a3 = Interpreter::new(design.clone());
+        a3.restore_state(&a2.save_state());
+        let mut b3 = Interpreter::new(design);
+        b3.restore_state(&sim.save_state());
+        for _ in 0..rest {
+            a3.tick(&d.clock, &mut ienv).unwrap();
+            b3.tick(&d.clock, &mut cenv).unwrap();
+        }
+        prop_assert_eq!(a3.save_state(), b3.save_state());
+        prop_assert_eq!(ienv.output_text(), cenv.output_text());
+    }
+
+    /// `Runtime::save`/`restore` round-trips across engine *policies*: a
+    /// checkpoint captured under the interpreter restores into a strict
+    /// compiled-engine runtime and vice versa, preserving counted state.
+    #[test]
+    fn runtime_checkpoints_span_engine_policies(ticks in 1u64..40, extra in 1u64..20) {
+        let src = "module M(input wire clock, output wire [31:0] out);
+                       reg [31:0] count = 0;
+                       reg [31:0] twisted = 1;
+                       always @(posedge clock) begin
+                           count <= count + 1;
+                           twisted <= (twisted << 1) ^ count;
+                       end
+                       assign out = twisted;
+                   endmodule";
+
+        // Interpreter → compiled.
+        let mut sw = Runtime::new("sw", src, "M", "clock").unwrap();
+        sw.run_ticks(ticks).unwrap();
+        let snapshot = sw.save("hop");
+        let mut ce =
+            Runtime::with_policy("ce", src, "M", "clock", EnginePolicy::Compiled).unwrap();
+        prop_assert_eq!(ce.mode(), ExecMode::Compiled);
+        ce.restore(&snapshot);
+        ce.run_ticks(extra).unwrap();
+        prop_assert_eq!(ce.get_bits("count").unwrap().to_u64(), ticks + extra);
+
+        // Compiled → interpreter: onward execution matches a never-migrated
+        // interpreter lineage bit for bit.
+        let back = ce.save("back");
+        let mut sw2 = Runtime::new("sw2", src, "M", "clock").unwrap();
+        sw2.restore(&back);
+        sw2.run_ticks(extra).unwrap();
+        let mut reference = Runtime::new("ref", src, "M", "clock").unwrap();
+        reference.run_ticks(ticks + 2 * extra).unwrap();
+        prop_assert_eq!(
+            sw2.get_bits("twisted").unwrap(),
+            reference.get_bits("twisted").unwrap()
         );
     }
 

@@ -60,11 +60,15 @@ fn report(id: &str, samples: &[Duration]) {
 /// The benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            filters: Vec::new(),
+        }
     }
 }
 
@@ -75,13 +79,26 @@ impl Criterion {
         self
     }
 
-    /// No-op kept for API compatibility with criterion's generated `main`.
-    pub fn configure_from_args(self) -> Self {
+    /// Reads benchmark-name substring filters from the command line (the
+    /// positional arguments of `cargo bench --bench <target> <filter>...`),
+    /// like real criterion. With no filters every benchmark runs.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
         self
     }
 
-    /// Runs and reports one benchmark.
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Runs and reports one benchmark (skipped when CLI filters exclude it).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if !self.selected(id) {
+            return self;
+        }
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
@@ -124,7 +141,8 @@ impl BenchmarkGroup<'_> {
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
         pub fn $name() {
-            let mut criterion: $crate::Criterion = $config;
+            let config: $crate::Criterion = $config;
+            let mut criterion = config.configure_from_args();
             $( $target(&mut criterion); )+
         }
     };
