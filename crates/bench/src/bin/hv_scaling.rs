@@ -1,0 +1,69 @@
+//! Regenerates `BENCH_hv_scaling.json`: the many-tenant hypervisor scaling
+//! sweep (1/2/4/8 workers × 8–64 tenants, mixed Table-1 + fuzz fleets).
+//!
+//! ```text
+//! cargo run --release -p synergy-bench --bin hv_scaling              # print + write repo-root JSON
+//! cargo run --release -p synergy-bench --bin hv_scaling -- out.json  # write elsewhere
+//! cargo run --release -p synergy-bench --bin hv_scaling -- --smoke   # tiny sweep, no file
+//! ```
+
+use synergy_bench::{model_speedup, run_scaling_sweep, scaling_json, scaling_table};
+
+/// Days-from-epoch to `YYYY-MM-DD` (proleptic Gregorian; no external crates
+/// in the offline container).
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{:04}-{:02}-{:02}", y, m, d)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hv_scaling.json").into()
+        });
+
+    let (workers, tenants, rounds): (&[usize], &[usize], usize) = if smoke {
+        (&[0, 2, 8], &[8], 2)
+    } else {
+        (&[0, 1, 2, 4, 8], &[8, 16, 32, 64], 3)
+    };
+    let measurements = run_scaling_sweep(workers, tenants, rounds);
+    print!("{}", scaling_table(&measurements));
+    if let Some(headline) = model_speedup(&measurements, 8, 32) {
+        println!(
+            "\nmodel speedup, 8 workers / 32-tenant mixed fleet: {:.2}x",
+            headline
+        );
+    }
+    if smoke {
+        return;
+    }
+    let json = scaling_json(&measurements, &today());
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, json).expect("write BENCH_hv_scaling.json");
+    println!("wrote {}", out_path);
+}

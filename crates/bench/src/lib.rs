@@ -7,11 +7,18 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod jsonish;
+pub mod regress;
+pub mod scaling;
 
 pub use experiments::{
     execution_overheads, fig10_migration, fig11_temporal, fig12_spatial, fig13_14_15_overheads,
     fig9_suspend_resume, overheads_tables, quiescence_study, table1, Condition,
     ExecutionOverheadRow, Figure, OverheadRow, Point, QuiescenceRow, Scale, Series,
+};
+pub use regress::{checks_table, run_checks, Check, TOLERANCE};
+pub use scaling::{
+    model_speedup, run_scaling_sweep, scaling_json, scaling_table, ScalingMeasurement,
 };
 
 #[cfg(test)]

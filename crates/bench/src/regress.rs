@@ -1,0 +1,211 @@
+//! The CI performance-regression gate.
+//!
+//! Re-measures the two committed performance envelopes at smoke scale and
+//! compares them against the checked-in `BENCH_*.json` baselines:
+//!
+//! * `BENCH_interp_vs_compiled.json` — the compiled engine's per-workload
+//!   speedup over the interpreter (PR 1/2's tentpole win);
+//! * `BENCH_hv_scaling.json` — the parallel scheduler's model speedup for
+//!   the 8-worker / 32-tenant mixed fleet (this PR's tentpole win).
+//!
+//! Only *ratios* are compared — absolute ticks/sec vary wildly across CI
+//! runners, but the compiled/interpreted and parallel/sequential ratios are
+//! machine-stable. A metric that drops more than [`TOLERANCE`] below its
+//! baseline fails the gate (exit code 1); the comparison table prints either
+//! way.
+//!
+//! `SYNERGY_REGRESS_HANDICAP=<factor>` divides every measured ratio — the
+//! knob used to verify the gate actually fails on an artificially slowed
+//! build.
+
+use crate::jsonish::{num_field, objects_in_array, str_field};
+use crate::scaling;
+use std::time::Instant;
+
+/// Allowed fractional drop below baseline before the gate fails.
+pub const TOLERANCE: f64 = 0.25;
+
+/// One gate check: a measured ratio against its committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Metric name (e.g. `interp_vs_compiled/nw`).
+    pub name: String,
+    /// Baseline value from the committed JSON.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub measured: f64,
+}
+
+impl Check {
+    /// measured / baseline.
+    pub fn ratio(&self) -> f64 {
+        self.measured / self.baseline.max(1e-9)
+    }
+
+    /// `true` if the metric regressed beyond the tolerance.
+    pub fn regressed(&self) -> bool {
+        self.ratio() < 1.0 - TOLERANCE
+    }
+}
+
+/// Artificial slowdown factor for gate verification (defaults to 1.0).
+fn handicap() -> f64 {
+    std::env::var("SYNERGY_REGRESS_HANDICAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|f: &f64| *f > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Re-measures the compiled engine's speedup over the interpreter for one
+/// workload (best of `reps` timings of `ticks` ticks each, to shave runner
+/// noise).
+fn measure_engine_speedup(bench: &synergy::Benchmark, ticks: usize, reps: usize) -> f64 {
+    let design = synergy::vlog::compile(&bench.source, &bench.top).expect("workload compiles");
+    let input = bench.input_path.as_ref().map(|p| {
+        (
+            p.clone(),
+            synergy::workloads::input_data(&bench.name, 4 * ticks),
+        )
+    });
+    let time_engine = |compiled: bool| -> u64 {
+        let prog = compiled.then(|| synergy::codegen::compile(&design).expect("lowers"));
+        (0..reps)
+            .map(|_| {
+                let mut env = synergy::interp::BufferEnv::new();
+                if let Some((path, data)) = &input {
+                    env.add_file(path.clone(), data.clone());
+                }
+                let start = Instant::now();
+                match &prog {
+                    Some(prog) => {
+                        let mut sim = synergy::codegen::CompiledSim::new(prog.clone());
+                        for _ in 0..ticks {
+                            sim.tick(&bench.clock, &mut env).expect("ticks");
+                        }
+                    }
+                    None => {
+                        let mut interp = synergy::interp::Interpreter::new(design.clone());
+                        for _ in 0..ticks {
+                            interp.tick(&bench.clock, &mut env).expect("ticks");
+                        }
+                    }
+                }
+                start.elapsed().as_nanos() as u64
+            })
+            .min()
+            .expect("at least one rep")
+    };
+    let interp_ns = time_engine(false);
+    let compiled_ns = time_engine(true);
+    interp_ns as f64 / compiled_ns.max(1) as f64
+}
+
+/// Runs every gate check against the committed baselines.
+///
+/// `interp_vs_compiled` / `hv_scaling` are the baseline JSON texts (the
+/// caller reads the files so the bin controls paths and error reporting).
+pub fn run_checks(interp_vs_compiled: &str, hv_scaling: &str) -> Vec<Check> {
+    let handicap = handicap();
+    let mut checks = Vec::new();
+
+    for obj in objects_in_array(interp_vs_compiled, "results") {
+        let workload = str_field(obj, "workload").expect("baseline row names a workload");
+        let baseline = num_field(obj, "speedup").expect("baseline row has a speedup");
+        let bench = synergy::workloads::by_name(&workload)
+            .unwrap_or_else(|| panic!("baseline names unknown workload '{}'", workload));
+        let measured = measure_engine_speedup(&bench, 200, 3) / handicap;
+        checks.push(Check {
+            name: format!("interp_vs_compiled/{}", workload),
+            baseline,
+            measured,
+        });
+    }
+
+    let baseline_scaling = num_field(hv_scaling, "model_speedup_8_workers_32_tenants")
+        .expect("hv_scaling baseline has the 8-worker/32-tenant summary");
+    let ms = scaling::run_scaling_model(&[0, 8], &[32], 3);
+    let measured = scaling::model_speedup(&ms, 8, 32).expect("sweep covers 8w/32t") / handicap;
+    checks.push(Check {
+        name: "hv_scaling/model_speedup_8w_32t".into(),
+        baseline: baseline_scaling,
+        measured,
+    });
+
+    checks
+}
+
+/// Renders the comparison table.
+pub fn checks_table(checks: &[Check]) -> String {
+    let mut out = String::from(
+        "metric                                baseline   measured   measured/baseline   status\n",
+    );
+    for c in checks {
+        out.push_str(&format!(
+            "{:<36}  {:>8.2}   {:>8.2}   {:>17.2}   {}\n",
+            c.name,
+            c.baseline,
+            c.measured,
+            c.ratio(),
+            if c.regressed() {
+                "REGRESSED"
+            } else if c.ratio() > 1.0 + TOLERANCE {
+                "improved"
+            } else {
+                "ok"
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_threshold_is_25_percent() {
+        let ok = Check {
+            name: "m".into(),
+            baseline: 10.0,
+            measured: 7.6,
+        };
+        assert!(!ok.regressed());
+        let bad = Check {
+            name: "m".into(),
+            baseline: 10.0,
+            measured: 7.4,
+        };
+        assert!(bad.regressed());
+        let table = checks_table(&[ok, bad]);
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("ok"));
+    }
+
+    #[test]
+    fn summary_speedup_parses_from_the_scaling_schema() {
+        let json = scaling::scaling_json(
+            &[
+                scaling::ScalingMeasurement {
+                    workers: 0,
+                    tenants: 32,
+                    rounds: 2,
+                    total_ticks: 100,
+                    wall_ns: 8_000,
+                    model_ns: 8_000,
+                },
+                scaling::ScalingMeasurement {
+                    workers: 8,
+                    tenants: 32,
+                    rounds: 2,
+                    total_ticks: 100,
+                    wall_ns: 8_000,
+                    model_ns: 1_000,
+                },
+            ],
+            "2026-01-01",
+        );
+        let v = num_field(&json, "model_speedup_8_workers_32_tenants");
+        assert_eq!(v, Some(8.0));
+    }
+}

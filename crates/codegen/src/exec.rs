@@ -750,3 +750,13 @@ impl CompiledSim {
         let _ = self.propagate(&mut noop);
     }
 }
+
+// The hypervisor's parallel scheduler runs `CompiledSim`s on worker threads
+// (one tenant per round job). The value arena (`State`) is plain owned data —
+// dense vectors of values and dirty bits, no shared interior mutability — so
+// the simulator is `Send` by construction; this pins that property.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CompiledSim>();
+    assert_send::<CompiledProgram>();
+};

@@ -59,7 +59,7 @@ mod lower;
 pub use exec::CompiledSim;
 pub use ir::{
     binary, concat, slice, unary, AlwaysProg, Code, CombNode, CompiledProgram, MemDecl, NetDecl,
-    Op, SlotRef, Val,
+    Op, SlotRef, Val, MAX_LOOP_ITERS,
 };
 
 use synergy_vlog::elaborate::ElabModule;

@@ -57,7 +57,7 @@ pub use synergy_workloads as workloads;
 pub use synergy_amorphos::DomainId;
 pub use synergy_codegen::{CompiledProgram, CompiledSim};
 pub use synergy_fpga::{BitstreamCache, Device, RamStyle, SynthOptions, SynthReport};
-pub use synergy_hv::{AppId, Cluster, DeployOutcome, Hypervisor, NodeId, RoundStats};
+pub use synergy_hv::{AppId, Cluster, DeployOutcome, Hypervisor, NodeId, RoundStats, SchedPolicy};
 pub use synergy_runtime::{EnginePolicy, ExecMode, Runtime, RuntimeEvent};
 pub use synergy_transform::{transform as transform_design, TransformOptions, Transformed};
 pub use synergy_vlog::{Bits, VlogError};
@@ -138,6 +138,14 @@ impl SynergyVm {
     /// with uncompilable constructs) instead of being interpreted.
     pub fn set_engine_policy(&mut self, policy: EnginePolicy) {
         self.cluster.set_engine_policy(policy);
+    }
+
+    /// Sets the round-scheduling policy for every node: under
+    /// [`SchedPolicy::Parallel`] each hypervisor executes independent
+    /// tenants' rounds concurrently on a work-stealing worker pool, with
+    /// results bit-identical to [`SchedPolicy::Sequential`].
+    pub fn set_sched_policy(&mut self, sched: SchedPolicy) {
+        self.cluster.set_sched_policy(sched);
     }
 
     /// Adds a device (node) to the deployment.

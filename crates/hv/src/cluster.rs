@@ -9,6 +9,7 @@
 //! deployment to another node.
 
 use crate::hypervisor::{AppId, DeployOutcome, HvError, Hypervisor};
+use crate::sched::SchedPolicy;
 use serde::{Deserialize, Serialize};
 use synergy_amorphos::DomainId;
 use synergy_fpga::{BitstreamCache, Device};
@@ -23,6 +24,7 @@ pub struct Cluster {
     nodes: Vec<Hypervisor>,
     cache: BitstreamCache,
     policy: EnginePolicy,
+    sched: SchedPolicy,
 }
 
 impl Default for Cluster {
@@ -38,6 +40,7 @@ impl Cluster {
             nodes: Vec::new(),
             cache: BitstreamCache::new(),
             policy: EnginePolicy::Interpreter,
+            sched: SchedPolicy::Sequential,
         }
     }
 
@@ -45,6 +48,7 @@ impl Cluster {
     pub fn add_node(&mut self, device: Device) -> NodeId {
         let mut hv = Hypervisor::with_cache(device, self.cache.clone());
         hv.set_engine_policy(self.policy);
+        hv.set_sched_policy(self.sched);
         self.nodes.push(hv);
         NodeId(self.nodes.len() - 1)
     }
@@ -55,6 +59,15 @@ impl Cluster {
         self.policy = policy;
         for node in &mut self.nodes {
             node.set_engine_policy(policy);
+        }
+    }
+
+    /// Sets the round-scheduling policy on every current and future node
+    /// (see [`Hypervisor::set_sched_policy`]).
+    pub fn set_sched_policy(&mut self, sched: SchedPolicy) {
+        self.sched = sched;
+        for node in &mut self.nodes {
+            node.set_sched_policy(sched);
         }
     }
 

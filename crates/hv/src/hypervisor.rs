@@ -13,12 +13,13 @@
 //! instances that contend on a shared IO path (Figure 11); and co-tenancy can lower
 //! the shared global clock (Figure 12).
 
+use crate::sched::{DeficitRoundRobin, SchedPolicy, WorkerPool};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use synergy_amorphos::{DomainId, Hull, HullError, MorphletId, Quiescence};
 use synergy_fpga::{BitstreamCache, Device, Fabric, FabricError, SimClock, SynthOptions};
-use synergy_runtime::{EnginePolicy, ExecMode, RunReport, Runtime};
+use synergy_runtime::{EnginePolicy, ExecMode, RunReport, Runtime, RuntimeEvent};
 use synergy_transform::transform;
 use synergy_vlog::VlogError;
 
@@ -109,25 +110,58 @@ pub struct DeployOutcome {
 }
 
 /// Per-application statistics for one scheduling round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoundStats {
     /// The application.
     pub app: u64,
     /// Whether the app actually executed this round (false when descheduled by
-    /// temporal multiplexing or already finished).
+    /// temporal multiplexing, quarantined, or already finished).
     pub ran: bool,
     /// Virtual clock ticks executed this round.
     pub ticks: u64,
     /// Task traps serviced this round.
     pub tasks: u64,
+    /// Runtime events ($save/$restart/$yield/$finish) raised this round, in
+    /// execution order. Reported in stable tenant order regardless of the
+    /// scheduling policy.
+    pub events: Vec<RuntimeEvent>,
+    /// Engine error raised mid-round, if any. The tenant is quarantined (it
+    /// idles in subsequent rounds) rather than aborting the other tenants'
+    /// round; see [`Hypervisor::quarantined`].
+    pub error: Option<String>,
+}
+
+impl RoundStats {
+    fn idle(app: AppId) -> Self {
+        RoundStats {
+            app: app.0,
+            ran: false,
+            ticks: 0,
+            tasks: 0,
+            events: Vec::new(),
+            error: None,
+        }
+    }
 }
 
 struct AppSlot {
     id: AppId,
-    runtime: Runtime,
+    /// `None` only transiently while the tenant's round job is in flight on
+    /// the worker pool; always `Some` between `run_round` calls.
+    runtime: Option<Runtime>,
     domain: DomainId,
     io_bound: bool,
     engine: Option<EngineId>,
+}
+
+impl AppSlot {
+    fn runtime(&self) -> &Runtime {
+        self.runtime.as_ref().expect("runtime resident in slot")
+    }
+
+    fn runtime_mut(&mut self) -> &mut Runtime {
+        self.runtime.as_mut().expect("runtime resident in slot")
+    }
 }
 
 /// The SYNERGY hypervisor for one device.
@@ -145,6 +179,15 @@ pub struct Hypervisor {
     handshakes: u64,
     round_tick_cap: u64,
     policy: EnginePolicy,
+    sched: SchedPolicy,
+    /// Persistent worker pool, spawned lazily on the first parallel round and
+    /// rebuilt when the requested worker count changes.
+    pool: Option<WorkerPool>,
+    drr: DeficitRoundRobin,
+    quarantined: BTreeSet<AppId>,
+    /// Host nanoseconds each tenant's job spent executing in the last round
+    /// (telemetry for the scaling benchmark; not part of round semantics).
+    last_round_host_ns: Vec<(u64, u64)>,
 }
 
 impl Hypervisor {
@@ -172,7 +215,59 @@ impl Hypervisor {
             handshakes: 0,
             round_tick_cap: 100_000,
             policy: EnginePolicy::Interpreter,
+            sched: SchedPolicy::Sequential,
+            pool: None,
+            drr: DeficitRoundRobin::new(),
+            quarantined: BTreeSet::new(),
+            last_round_host_ns: Vec::new(),
         }
+    }
+
+    /// Sets how scheduling rounds execute tenants: [`SchedPolicy::Sequential`]
+    /// (the default) ticks them in tenant order on the calling thread;
+    /// [`SchedPolicy::Parallel`] runs them concurrently on a persistent
+    /// work-stealing worker pool. Both produce bit-identical stats, events,
+    /// and tenant state — parallel rounds are joined in stable tenant order.
+    pub fn set_sched_policy(&mut self, sched: SchedPolicy) {
+        // Any policy change drops the pool: switching to Sequential must not
+        // leave worker threads behind, and a different width needs a rebuild.
+        if self.sched != sched {
+            self.pool = None;
+        }
+        self.sched = sched;
+    }
+
+    /// The current round-scheduling policy.
+    pub fn sched_policy(&self) -> SchedPolicy {
+        self.sched
+    }
+
+    /// Applications currently quarantined after an engine error (they idle in
+    /// scheduling rounds until [`Hypervisor::clear_quarantine`]).
+    pub fn quarantined(&self) -> Vec<AppId> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Releases an application from quarantine so it is scheduled again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::UnknownApp`] if the id is not connected.
+    pub fn clear_quarantine(&mut self, id: AppId) -> Result<(), HvError> {
+        if !self.apps.contains_key(&id) {
+            return Err(HvError::UnknownApp(id.0));
+        }
+        self.quarantined.remove(&id);
+        Ok(())
+    }
+
+    /// Host nanoseconds each tenant's round job spent executing during the
+    /// most recent [`Hypervisor::run_round`], as `(app, ns)` pairs in tenant
+    /// order. Scheduler telemetry for the scaling benchmark — deliberately
+    /// kept out of [`RoundStats`] so stats stay bit-identical across
+    /// scheduling policies.
+    pub fn last_round_host_costs(&self) -> &[(u64, u64)] {
+        &self.last_round_host_ns
     }
 
     /// Sets the software-engine selection policy for programs that are not
@@ -189,7 +284,7 @@ impl Hypervisor {
         self.policy = policy;
         for slot in self.apps.values_mut() {
             if slot.engine.is_none() {
-                let _ = apply_software_policy(policy, &mut slot.runtime);
+                let _ = apply_software_policy(policy, slot.runtime_mut());
             }
         }
     }
@@ -240,7 +335,7 @@ impl Hypervisor {
             id,
             AppSlot {
                 id,
-                runtime,
+                runtime: Some(runtime),
                 domain,
                 io_bound,
                 engine: None,
@@ -257,7 +352,7 @@ impl Hypervisor {
     pub fn app(&self, id: AppId) -> Result<&Runtime, HvError> {
         self.apps
             .get(&id)
-            .map(|s| &s.runtime)
+            .map(|s| s.runtime())
             .ok_or(HvError::UnknownApp(id.0))
     }
 
@@ -269,7 +364,7 @@ impl Hypervisor {
     pub fn app_mut(&mut self, id: AppId) -> Result<&mut Runtime, HvError> {
         self.apps
             .get_mut(&id)
-            .map(|s| &mut s.runtime)
+            .map(|s| s.runtime_mut())
             .ok_or(HvError::UnknownApp(id.0))
     }
 
@@ -314,7 +409,7 @@ impl Hypervisor {
 
         // The instance's compiler sends the sub-program to the hypervisor, which
         // produces a target-specific engine (steps 1-2).
-        let transformed = transform(slot.runtime.design(), Default::default())?;
+        let transformed = transform(slot.runtime().design(), Default::default())?;
         let synth_options = SynthOptions::synergy(
             &self.device,
             transformed.state.captured_bits() as u64,
@@ -330,7 +425,7 @@ impl Hypervisor {
         // Admission through the AmorphOS hull (protection + placement).
         let morphlet = self.hull.register(
             slot.domain,
-            slot.runtime.name().to_string(),
+            slot.runtime().name().to_string(),
             outcome.bitstream.report,
             if transformed.state.uses_yield {
                 Quiescence::ApplicationManaged
@@ -355,7 +450,7 @@ impl Hypervisor {
         // Migrate the application itself onto hardware.
         let slot = self.apps.get_mut(&id).expect("slot exists");
         let migrate_ns = slot
-            .runtime
+            .runtime_mut()
             .migrate_to_hardware(&self.device, &self.cache)
             .map_err(HvError::Compile)?;
         slot.engine = Some(engine_id);
@@ -375,7 +470,7 @@ impl Hypervisor {
         let global = self.fabric.global_clock_hz();
         for slot in self.apps.values_mut() {
             if slot.engine.is_some() {
-                slot.runtime.set_clock_hz(global);
+                slot.runtime_mut().set_clock_hz(global);
             }
         }
 
@@ -401,9 +496,10 @@ impl Hypervisor {
         let engine = slot.engine.take().ok_or(HvError::NotDeployed(id.0))?;
         // Land on the best software engine in one hop: compiled when the
         // policy allows and the design lowers, otherwise the interpreter.
-        if self.policy == EnginePolicy::Interpreter || !apply_compiled_migration(&mut slot.runtime)?
+        if self.policy == EnginePolicy::Interpreter
+            || !apply_compiled_migration(slot.runtime_mut())?
         {
-            slot.runtime.migrate_to_software();
+            slot.runtime_mut().migrate_to_software();
         }
         if let Some(entry) = self.engines.remove(&engine) {
             self.hull.retire(entry.morphlet)?;
@@ -412,7 +508,7 @@ impl Hypervisor {
         let global = self.fabric.global_clock_hz();
         for slot in self.apps.values_mut() {
             if slot.engine.is_some() {
-                slot.runtime.set_clock_hz(global);
+                slot.runtime_mut().set_clock_hz(global);
             }
         }
         Ok(())
@@ -434,7 +530,9 @@ impl Hypervisor {
             self.undeploy(id)?;
         }
         let slot = self.apps.remove(&id).ok_or(HvError::UnknownApp(id.0))?;
-        Ok(slot.runtime)
+        self.quarantined.remove(&id);
+        self.drr.forget(id.0);
+        Ok(slot.runtime.expect("runtime resident in slot"))
     }
 
     /// Runs the Figure-7 handshake: every connected instance (other than the one
@@ -452,9 +550,10 @@ impl Hypervisor {
             any = true;
             // Save state through get requests, stall for the reconfiguration, then
             // restore through set requests.
-            let snapshot = slot.runtime.save("__handshake");
-            slot.runtime.idle_for_ns(reconfig);
-            slot.runtime.restore(&snapshot);
+            let runtime = slot.runtime_mut();
+            let snapshot = runtime.save("__handshake");
+            runtime.idle_for_ns(reconfig);
+            runtime.restore(&snapshot);
         }
         if any {
             self.handshakes += 1;
@@ -467,19 +566,35 @@ impl Hypervisor {
     ///
     /// Applications that share the off-device IO path (marked `io_bound` at connect
     /// time) are time-slice scheduled round-robin when more than one of them is
-    /// deployed; everything else runs spatially in parallel. Returns per-app
-    /// statistics for the round.
+    /// deployed; everything else runs spatially in parallel. Per-tenant tick
+    /// budgets come from the deficit-round-robin fairness layer
+    /// ([`DeficitRoundRobin`]), and tenants execute sequentially or on the
+    /// work-stealing worker pool per [`Hypervisor::set_sched_policy`] — with
+    /// bit-identical results either way. Returns per-app statistics for the
+    /// round, in stable tenant order.
+    ///
+    /// A tenant whose engine errors mid-round does not abort the round for
+    /// everyone else: the error is surfaced in its [`RoundStats::error`], and
+    /// the tenant is quarantined (it idles in subsequent rounds until
+    /// [`Hypervisor::clear_quarantine`]).
     ///
     /// # Errors
     ///
-    /// Propagates engine evaluation errors.
+    /// Currently infallible; the `Result` is kept for API stability.
     pub fn run_round(&mut self, dt: f64) -> Result<Vec<RoundStats>, HvError> {
         let dt_ns = (dt * 1e9) as u64;
-        // Which io-bound apps are deployed and still running?
+        // Which io-bound apps are deployed and still running? (A quarantined
+        // tenant must not occupy a time slice it cannot use — that would
+        // idle every healthy io-bound tenant on its turns.)
         let io_apps: Vec<AppId> = self
             .apps
             .values()
-            .filter(|s| s.io_bound && s.engine.is_some() && s.runtime.finished().is_none())
+            .filter(|s| {
+                s.io_bound
+                    && s.engine.is_some()
+                    && s.runtime().finished().is_none()
+                    && !self.quarantined.contains(&s.id)
+            })
             .map(|s| s.id)
             .collect();
         let io_pick = if io_apps.len() >= 2 {
@@ -490,36 +605,155 @@ impl Hypervisor {
             None
         };
 
-        let mut stats = Vec::new();
-        for slot in self.apps.values_mut() {
+        // Plan phase, in tenant order: decide who runs and grant DRR tick
+        // budgets. Deterministic and sequential, so the parallel and
+        // sequential execution paths see the exact same schedule.
+        let mut runnable: Vec<(AppId, u64)> = Vec::new();
+        for slot in self.apps.values() {
+            if self.quarantined.contains(&slot.id) || slot.runtime().finished().is_some() {
+                continue;
+            }
+            // Runnable *and* descheduled tenants accrue quantum: a tenant
+            // descheduled by temporal multiplexing carries its allowance
+            // forward (bounded) instead of losing it.
+            let budget = self.drr.grant(slot.id.0, self.round_tick_cap);
             let descheduled = io_pick.is_some()
                 && slot.io_bound
                 && slot.engine.is_some()
                 && Some(slot.id) != io_pick;
-            if slot.runtime.finished().is_some() || descheduled {
-                slot.runtime.idle_for_ns(dt_ns);
-                stats.push(RoundStats {
-                    app: slot.id.0,
-                    ran: false,
-                    ticks: 0,
-                    tasks: 0,
-                });
-                continue;
+            if !descheduled {
+                runnable.push((slot.id, budget));
             }
-            let report = run_for_ns(&mut slot.runtime, dt_ns, self.round_tick_cap)
-                .map_err(HvError::Compile)?;
-            if report.elapsed_ns < dt_ns {
-                slot.runtime.idle_for_ns(dt_ns - report.elapsed_ns);
+        }
+
+        // Execution phase: run every scheduled tenant's round job.
+        let outcomes: Vec<(AppId, RoundJobResult, u64)> = match self.sched {
+            SchedPolicy::Sequential => runnable
+                .iter()
+                .map(|&(id, budget)| {
+                    let slot = self.apps.get_mut(&id).expect("planned app exists");
+                    let start = std::time::Instant::now();
+                    let result = run_round_job(slot.runtime_mut(), dt_ns, budget);
+                    (id, result, start.elapsed().as_nanos() as u64)
+                })
+                .collect(),
+            SchedPolicy::Parallel { .. } => {
+                let workers = self.sched.workers();
+                let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
+                // Ship each tenant's runtime into its job (the execution
+                // stack is Send end-to-end); join in submission order and
+                // reinstall below, so completion order never leaks into
+                // results.
+                let jobs: Vec<_> = runnable
+                    .iter()
+                    .map(|&(id, budget)| {
+                        let slot = self.apps.get_mut(&id).expect("planned app exists");
+                        let mut runtime = slot.runtime.take().expect("runtime resident in slot");
+                        move || {
+                            let result = run_round_job(&mut runtime, dt_ns, budget);
+                            (runtime, result)
+                        }
+                    })
+                    .collect();
+                let joined = pool.run_batch(jobs);
+                // Reinstall every surviving runtime *before* re-raising a
+                // panic, so one tenant's engine panic (a bug, not the
+                // Result-carried error path) cannot destroy its siblings'
+                // state. The panicking tenant's runtime was consumed by the
+                // unwind; its slot is evicted (fabric/hull resources
+                // released) rather than left poisoned.
+                let mut panicked: Vec<(AppId, Box<dyn std::any::Any + Send>)> = Vec::new();
+                let outcomes: Vec<(AppId, RoundJobResult, u64)> = runnable
+                    .iter()
+                    .zip(joined)
+                    .filter_map(|(&(id, _), (outcome, busy_ns))| match outcome {
+                        Ok((runtime, result)) => {
+                            let slot = self.apps.get_mut(&id).expect("planned app exists");
+                            slot.runtime = Some(runtime);
+                            Some((id, result, busy_ns))
+                        }
+                        Err(payload) => {
+                            panicked.push((id, payload));
+                            None
+                        }
+                    })
+                    .collect();
+                if !panicked.is_empty() {
+                    for (id, _) in &panicked {
+                        self.evict_after_panic(*id);
+                    }
+                    let (_, payload) = panicked.swap_remove(0);
+                    std::panic::resume_unwind(payload);
+                }
+                outcomes
             }
-            stats.push(RoundStats {
-                app: slot.id.0,
-                ran: report.ticks > 0,
-                ticks: report.ticks,
-                tasks: report.tasks_handled,
-            });
+        };
+
+        // Join phase, in stable tenant order: charge DRR, quarantine failed
+        // tenants, idle everyone who did not run, and assemble stats.
+        self.last_round_host_ns.clear();
+        let mut by_app: BTreeMap<AppId, (RoundJobResult, u64)> = outcomes
+            .into_iter()
+            .map(|(id, result, busy)| (id, (result, busy)))
+            .collect();
+        let mut stats = Vec::new();
+        for slot in self.apps.values_mut() {
+            match by_app.remove(&slot.id) {
+                Some((job, busy_ns)) => {
+                    self.drr.charge(slot.id.0, job.report.ticks);
+                    if job.error.is_some() {
+                        self.quarantined.insert(slot.id);
+                    }
+                    self.last_round_host_ns.push((slot.id.0, busy_ns));
+                    stats.push(RoundStats {
+                        app: slot.id.0,
+                        ran: job.report.ticks > 0,
+                        ticks: job.report.ticks,
+                        tasks: job.report.tasks_handled,
+                        events: job.events,
+                        error: job.error.map(|e| e.to_string()),
+                    });
+                }
+                None => {
+                    slot.runtime_mut().idle_for_ns(dt_ns);
+                    stats.push(RoundStats::idle(slot.id));
+                }
+            }
         }
         self.clock.advance_ns(dt_ns);
         Ok(stats)
+    }
+
+    /// Telemetry from the parallel worker pool (`None` until the first
+    /// parallel round spawns it).
+    pub fn pool_stats(&self) -> Option<crate::sched::PoolStats> {
+        self.pool.as_ref().map(|p| p.stats())
+    }
+
+    /// Removes every trace of a tenant whose round job panicked (its runtime
+    /// was consumed by the unwind): the engine-table entry, the hull
+    /// morphlet, and its fabric region, with the global clock re-propagated
+    /// — the resource-release half of [`Hypervisor::undeploy`], minus the
+    /// impossible software migration. Best-effort by design: this runs on
+    /// the way to re-raising the panic.
+    fn evict_after_panic(&mut self, id: AppId) {
+        let Some(slot) = self.apps.remove(&id) else {
+            return;
+        };
+        self.drr.forget(id.0);
+        self.quarantined.remove(&id);
+        if let Some(engine) = slot.engine {
+            if let Some(entry) = self.engines.remove(&engine) {
+                let _ = self.hull.retire(entry.morphlet);
+            }
+            let _ = self.fabric.unload(&format!("engine_{}", engine.0));
+            let global = self.fabric.global_clock_hz();
+            for slot in self.apps.values_mut() {
+                if slot.engine.is_some() {
+                    slot.runtime_mut().set_clock_hz(global);
+                }
+            }
+        }
     }
 }
 
@@ -544,15 +778,39 @@ fn apply_compiled_migration(runtime: &mut Runtime) -> Result<bool, HvError> {
     }
 }
 
-/// Runs a runtime until roughly `dt_ns` of its simulated time has elapsed or the
-/// tick cap is reached (whichever comes first).
-fn run_for_ns(runtime: &mut Runtime, dt_ns: u64, tick_cap: u64) -> Result<RunReport, VlogError> {
+/// Everything one tenant's round job produced. Errors are carried as data —
+/// a hostile or broken tenant must not abort the other tenants' round.
+struct RoundJobResult {
+    report: RunReport,
+    events: Vec<RuntimeEvent>,
+    error: Option<VlogError>,
+}
+
+/// Runs a runtime until roughly `dt_ns` of its simulated time has elapsed or
+/// its DRR tick budget is exhausted (whichever comes first), then idles it to
+/// the end of the round so every tenant's simulated clock stays aligned.
+///
+/// This is the body of a scheduling-round job: it owns no hypervisor state,
+/// so it runs identically on the calling thread (sequential policy) and on a
+/// pool worker (parallel policy).
+fn run_round_job(runtime: &mut Runtime, dt_ns: u64, tick_budget: u64) -> RoundJobResult {
     let mut total = RunReport::default();
+    let mut events = Vec::new();
+    let mut error = None;
     // Probe with a small batch to estimate per-tick cost, then run the rest.
     let mut remaining = dt_ns;
-    let mut batch = 16u64;
-    while remaining > 0 && runtime.finished().is_none() && total.ticks < tick_cap {
-        let (report, _) = runtime.run_ticks(batch)?;
+    let mut batch = 16u64.min(tick_budget.max(1));
+    while remaining > 0 && runtime.finished().is_none() && total.ticks < tick_budget {
+        let report = match runtime.run_ticks(batch) {
+            Ok((report, mut batch_events)) => {
+                events.append(&mut batch_events);
+                report
+            }
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        };
         total.ticks += report.ticks;
         total.native_cycles += report.native_cycles;
         total.abi_requests += report.abi_requests;
@@ -570,9 +828,16 @@ fn run_for_ns(runtime: &mut Runtime, dt_ns: u64, tick_cap: u64) -> Result<RunRep
         // quantum without overshooting too far (§6.2).
         batch = (remaining / per_tick)
             .clamp(1, 8192)
-            .min(tick_cap - total.ticks);
+            .min(tick_budget - total.ticks);
     }
-    Ok(total)
+    if total.elapsed_ns < dt_ns {
+        runtime.idle_for_ns(dt_ns - total.elapsed_ns);
+    }
+    RoundJobResult {
+        report: total,
+        events,
+        error,
+    }
 }
 
 impl fmt::Debug for Hypervisor {
@@ -852,6 +1117,197 @@ mod tests {
             "compiled tenant should out-tick the interpreter tenant ({} vs {})",
             fast_ticks,
             slow_ticks
+        );
+    }
+
+    use synergy_workloads::HOSTILE_DESIGN;
+
+    fn hostile_runtime(name: &str) -> Runtime {
+        Runtime::new(name, HOSTILE_DESIGN, "Hostile", "clock").unwrap()
+    }
+
+    #[test]
+    fn parallel_rounds_are_bit_identical_to_sequential() {
+        let build = || {
+            let mut hv = Hypervisor::new(Device::f1());
+            hv.set_engine_policy(EnginePolicy::Auto);
+            // Mixed engines: compiled counter, interpreter-bound dual driver,
+            // and a compiled streamer.
+            hv.connect(counter_runtime("a"), DomainId(1), false);
+            let dual = r#"module Dual(input wire clock, output wire [31:0] out);
+                              reg [31:0] count = 0;
+                              wire [31:0] o;
+                              assign o = count + 1;
+                              assign o = count + 1;
+                              always @(posedge clock) count <= count + 1;
+                              assign out = o;
+                          endmodule"#;
+            hv.connect(
+                Runtime::new("dual", dual, "Dual", "clock").unwrap(),
+                DomainId(2),
+                false,
+            );
+            hv.connect(streamer_runtime("s", 50_000), DomainId(3), true);
+            hv
+        };
+
+        let mut seq = build();
+        seq.set_sched_policy(SchedPolicy::Sequential);
+        let mut par = build();
+        par.set_sched_policy(SchedPolicy::Parallel { workers: 4 });
+        assert_eq!(par.sched_policy(), SchedPolicy::Parallel { workers: 4 });
+
+        for _ in 0..4 {
+            let s = seq.run_round(0.0004).unwrap();
+            let p = par.run_round(0.0004).unwrap();
+            assert_eq!(s, p, "stats (incl. events and errors) must match");
+        }
+        for app in seq.apps() {
+            assert_eq!(
+                seq.app(app).unwrap().peek_state(),
+                par.app(app).unwrap().peek_state(),
+                "tenant {} state must be bit-identical",
+                app.0
+            );
+            assert_eq!(
+                seq.app(app).unwrap().now_ns(),
+                par.app(app).unwrap().now_ns(),
+            );
+        }
+        let pool = par.pool_stats().expect("parallel rounds spawn the pool");
+        assert_eq!(pool.executed, 4 * 3, "every tenant ran on the pool");
+        assert!(
+            seq.pool_stats().is_none(),
+            "sequential path never spawns it"
+        );
+    }
+
+    #[test]
+    fn erring_tenant_is_quarantined_and_the_round_continues() {
+        let mut hv = Hypervisor::new(Device::f1());
+        let good = hv.connect(counter_runtime("good"), DomainId(1), false);
+        let bad = hv.connect(hostile_runtime("bad"), DomainId(2), false);
+
+        // The round completes despite the hostile tenant...
+        let stats = hv.run_round(0.0002).unwrap();
+        assert_eq!(stats.len(), 2);
+        assert!(stats[0].ran && stats[0].error.is_none());
+        let err = stats[1].error.as_ref().expect("hostile tenant errored");
+        assert!(err.contains("did not converge"), "error surfaced: {}", err);
+        assert!(stats[1].ticks == 0 && !stats[1].ran);
+        let good_before = hv.app(good).unwrap().get_bits("count").unwrap().to_u64();
+        assert!(good_before > 0, "the good tenant made progress");
+        assert_eq!(hv.quarantined(), vec![bad]);
+
+        // ...and the quarantined tenant idles (no error spam) afterwards.
+        let stats = hv.run_round(0.0002).unwrap();
+        assert!(stats[0].ran);
+        assert!(!stats[1].ran && stats[1].error.is_none());
+        assert!(hv.app(good).unwrap().get_bits("count").unwrap().to_u64() > good_before);
+        // Virtual time still advances for the quarantined tenant (two full
+        // rounds of idling; running tenants may overshoot dt slightly).
+        assert_eq!(hv.app(bad).unwrap().now_ns(), 2 * 200_000);
+
+        // Quarantine clears explicitly; the tenant is scheduled (and errors)
+        // again.
+        hv.clear_quarantine(bad).unwrap();
+        assert!(hv.quarantined().is_empty());
+        let stats = hv.run_round(0.0002).unwrap();
+        assert!(stats[1].error.is_some());
+        assert!(matches!(
+            hv.clear_quarantine(AppId(99)),
+            Err(HvError::UnknownApp(99))
+        ));
+        // Disconnect drops the quarantine entry.
+        hv.disconnect(bad).unwrap();
+        assert!(hv.quarantined().is_empty());
+    }
+
+    // Parallel-vs-sequential quarantine equivalence lives in
+    // tests/hv_parallel.rs (hostile_tenants_quarantine_identically_under_
+    // parallelism), which exercises it with a larger mixed fleet.
+
+    #[test]
+    fn quarantined_stream_frees_its_temporal_multiplexing_slice() {
+        // Two io-bound *deployed* tenants; one errors and is quarantined.
+        // The healthy stream must then run every round — the quarantined
+        // tenant must not keep occupying io time slices (which would idle
+        // the healthy stream on every other round).
+        let mut hv = Hypervisor::new(Device::de10());
+        let good = hv.connect(streamer_runtime("good", 1_000_000), DomainId(1), true);
+        let bad = hv.connect(hostile_runtime("bad"), DomainId(2), true);
+        hv.deploy(good).unwrap();
+        // The hostile tenant errors on its first software round (settle cap)
+        // and lands in quarantine...
+        let stats = hv.run_round(0.001).unwrap();
+        assert!(stats[1].error.is_some(), "hostile tenant errored");
+        assert_eq!(hv.quarantined(), vec![bad]);
+        // ...and is then deployed anyway (deployment does not tick), putting
+        // a quarantined tenant on the shared IO path.
+        hv.deploy(bad).unwrap();
+        for _ in 0..3 {
+            let stats = hv.run_round(0.001).unwrap();
+            assert!(
+                stats[0].ran,
+                "healthy stream must run every round once the co-tenant is quarantined"
+            );
+            assert!(!stats[1].ran);
+        }
+        assert!(hv.app(good).unwrap().get_bits("reads").unwrap().to_u64() > 0);
+    }
+
+    #[test]
+    fn round_stats_carry_runtime_events() {
+        let src = r#"module M(input wire clock, input wire do_save);
+                         reg [31:0] n = 0;
+                         always @(posedge clock) begin
+                             if (do_save) $save("ckpt");
+                             n <= n + 1;
+                         end
+                     endmodule"#;
+        let mut hv = Hypervisor::new(Device::f1());
+        let a = hv.connect(
+            Runtime::new("saver", src, "M", "clock").unwrap(),
+            DomainId(1),
+            false,
+        );
+        let stats = hv.run_round(0.0002).unwrap();
+        assert!(stats[0].events.is_empty());
+        hv.app_mut(a)
+            .unwrap()
+            .set("do_save", synergy_vlog::Bits::from_u64(1, 1))
+            .unwrap();
+        let stats = hv.run_round(0.0002).unwrap();
+        assert!(
+            stats[0]
+                .events
+                .iter()
+                .any(|e| matches!(e, synergy_runtime::RuntimeEvent::Saved(t) if t == "ckpt")),
+            "the $save event surfaces in the round stats"
+        );
+        assert!(hv.app(a).unwrap().checkpoints().contains_key("ckpt"));
+    }
+
+    #[test]
+    fn descheduled_stream_bursts_with_its_carried_deficit() {
+        let mut hv = Hypervisor::new(Device::de10());
+        hv.set_round_tick_cap(50);
+        let a = hv.connect(streamer_runtime("a", 1_000_000), DomainId(1), true);
+        let b = hv.connect(streamer_runtime("b", 1_000_000), DomainId(2), true);
+        hv.deploy(a).unwrap();
+        hv.deploy(b).unwrap();
+        // Round 1: one stream runs, capped at one quantum (50 ticks); the
+        // other is descheduled and carries its allowance forward.
+        let r1 = hv.run_round(0.1).unwrap();
+        let (ran1, idle1) = if r1[0].ran { (0, 1) } else { (1, 0) };
+        assert_eq!(r1[ran1].ticks, 50, "first round is capped at one quantum");
+        assert_eq!(r1[idle1].ticks, 0);
+        // Round 2: the previously descheduled stream wakes with two quanta.
+        let r2 = hv.run_round(0.1).unwrap();
+        assert!(r2[idle1].ran, "round-robin alternates");
+        assert_eq!(
+            r2[idle1].ticks, 100,
+            "carried deficit doubles the waking stream's budget"
         );
     }
 

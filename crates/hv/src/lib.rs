@@ -2,13 +2,16 @@
 //!
 //! The SYNERGY hypervisor layer (§4 of the paper): program coalescing, the engine
 //! table, the state-safe compilation handshake, spatial and temporal multiplexing,
-//! and cross-device workload migration over a cluster of heterogeneous FPGAs.
+//! parallel round scheduling across host cores, and cross-device workload
+//! migration over a cluster of heterogeneous FPGAs.
 #![warn(missing_docs)]
 
 mod cluster;
 mod hypervisor;
+pub mod sched;
 
 pub use cluster::{Cluster, NodeId};
 pub use hypervisor::{
     AppId, DeployOutcome, EngineEntry, EngineId, HvError, Hypervisor, RoundStats,
 };
+pub use sched::{DeficitRoundRobin, PoolStats, SchedPolicy, WorkerPool};

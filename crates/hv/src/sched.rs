@@ -1,0 +1,470 @@
+//! Parallel round scheduling for the hypervisor.
+//!
+//! The compiled software engine made each tenant's hot path an order of
+//! magnitude faster (see `BENCH_interp_vs_compiled.json`); the next order of
+//! magnitude for *aggregate* throughput comes from executing independent
+//! tenants' rounds concurrently. This module provides the two pieces the
+//! hypervisor needs for that:
+//!
+//! * [`WorkerPool`] — a persistent pool of `std::thread` workers with
+//!   per-worker job deques and work stealing (crossbeam-style, implemented
+//!   in-tree on `std::sync` since the build container is offline). Round
+//!   jobs *own* their tenant's [`synergy_runtime::Runtime`] for the duration
+//!   of the round — the execution stack is `Send` end-to-end — so no borrows
+//!   cross threads and no `unsafe` is needed. Results are joined
+//!   deterministically: the hypervisor reinstalls runtimes and reports stats
+//!   in stable tenant order regardless of completion order, which is what
+//!   keeps parallel rounds bit-identical to sequential ones.
+//!
+//! * [`DeficitRoundRobin`] — the fairness layer that assigns each tenant a
+//!   per-round *tick budget*. IO-bound tenants typically consume only a
+//!   fraction of their budget (they are bound by simulated transport time,
+//!   not host ticks); the unspent deficit carries over (bounded) so they can
+//!   burst later, while compute-bound tenants can never exceed their own
+//!   budget to crowd the round. Budgets are computed *before* dispatch, in
+//!   tenant order, so the sequential and parallel paths see identical
+//!   schedules.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How the hypervisor executes the tenants of one scheduling round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Tick every tenant on the calling thread, in tenant order (the
+    /// drop-in-compatible default).
+    #[default]
+    Sequential,
+    /// Execute independent tenants' rounds concurrently on a persistent
+    /// work-stealing worker pool. Results are joined in stable tenant order,
+    /// so stats, events, and state snapshots are bit-identical to
+    /// [`SchedPolicy::Sequential`].
+    Parallel {
+        /// Number of worker threads (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+impl SchedPolicy {
+    /// Worker count this policy asks for (1 for `Sequential`).
+    pub fn workers(&self) -> usize {
+        match self {
+            SchedPolicy::Sequential => 1,
+            SchedPolicy::Parallel { workers } => (*workers).max(1),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- worker pool
+
+/// A job shipped to the pool: owns everything it needs, returns nothing
+/// (results travel back through the batch's channel).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    /// One deque per worker. Owners push/pop at the back (LIFO keeps caches
+    /// warm); thieves steal from the front (FIFO takes the oldest, largest
+    /// remaining work first).
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Unclaimed-job count, guarded by the condvar's mutex so wakeups cannot
+    /// be lost: submitters increment it *after* pushing (deque pushes
+    /// happen-before the increment via the lock), workers block on the
+    /// condvar until they can claim one. A successful claim guarantees some
+    /// deque holds a job (claims never exceed pushes, and only claimants
+    /// pop), so idle workers park indefinitely at zero cost.
+    unclaimed: Mutex<usize>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    /// Telemetry: jobs executed and successful steals since pool creation.
+    executed: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// Snapshot of pool telemetry (used by the scaling benchmark and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Jobs executed since the pool was created.
+    pub executed: u64,
+    /// Jobs that ran on a worker other than the one they were submitted to.
+    pub steals: u64,
+}
+
+/// A persistent work-stealing thread pool for round jobs.
+///
+/// Workers park on a condvar when every deque is empty, so an idle pool
+/// costs nothing between rounds. Dropping the pool shuts the workers down.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (at least 1) persistent worker threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            unclaimed: Mutex::new(0),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("synergy-hv-worker-{}", id))
+                    .spawn(move || worker_loop(id, &shared))
+                    .expect("spawn hypervisor worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Pool telemetry counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs a batch of independent jobs to completion and returns their
+    /// outcomes **in submission order**, regardless of which worker finished
+    /// which job when. Each outcome carries the host nanoseconds the job
+    /// spent executing (used by the scaling benchmark's critical-path
+    /// model).
+    ///
+    /// A panicking job does not kill its worker, wedge the pool, or discard
+    /// its siblings' results: the unwind is caught on the worker and
+    /// returned as that job's `Err` outcome, so the caller can salvage every
+    /// completed job before deciding whether to re-raise.
+    pub fn run_batch<T, F>(&self, jobs: Vec<F>) -> Vec<(std::thread::Result<T>, u64)>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<T>, u64)>();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            let wrapped: Job = Box::new(move || {
+                let start = std::time::Instant::now();
+                // The job owns all its data, so unwind safety reduces to
+                // "the caller treats an Err outcome as poisoned".
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                let busy = start.elapsed().as_nanos() as u64;
+                // The receiver outlives the batch; the send only fails if
+                // the caller vanished (it cannot: we join below).
+                let _ = tx.send((idx, out, busy));
+            });
+            // Round-robin initial placement; stealing rebalances from there.
+            self.shared.deques[idx % self.shared.deques.len()]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(wrapped);
+        }
+        drop(tx);
+        // Publish the jobs under the condvar mutex *after* the pushes, so a
+        // worker that claims is guaranteed to find a job in some deque.
+        {
+            let mut unclaimed = self
+                .shared
+                .unclaimed
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            *unclaimed += n;
+            self.shared.work_ready.notify_all();
+        }
+
+        let mut slots: Vec<Option<(std::thread::Result<T>, u64)>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (idx, out, busy) = rx.recv().expect("worker delivered a result");
+            slots[idx] = Some((out, busy));
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job reported"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Flag under the condvar mutex so no worker can park between the
+        // store and the notification.
+        {
+            let _guard = self
+                .shared
+                .unclaimed
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, shared: &PoolShared) {
+    loop {
+        // Claim one job (or learn of shutdown) under the condvar mutex;
+        // parking is untimed because submitters notify under the same lock.
+        {
+            let mut unclaimed = shared.unclaimed.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if *unclaimed > 0 {
+                    *unclaimed -= 1;
+                    break;
+                }
+                unclaimed = shared
+                    .work_ready
+                    .wait(unclaimed)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        // The claim guarantees a job is resident in some deque (claims never
+        // exceed pushes and only claimants pop); the yield covers the sliver
+        // where a sibling claimant holds a deque lock mid-pop.
+        let (job, stolen) = loop {
+            match find_job(id, shared) {
+                Some(found) => break found,
+                None => std::thread::yield_now(),
+            }
+        };
+        if stolen {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        // Count before running: the job's result send is what completes
+        // the batch, so incrementing first keeps the counter ahead of
+        // any observer that joined on those results.
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+        job();
+    }
+}
+
+/// Pops from the worker's own deque, else steals from a sibling. Returns the
+/// job and whether it was stolen.
+fn find_job(id: usize, shared: &PoolShared) -> Option<(Job, bool)> {
+    if let Some(job) = shared.deques[id]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .pop_back()
+    {
+        return Some((job, false));
+    }
+    let n = shared.deques.len();
+    for off in 1..n {
+        let victim = (id + off) % n;
+        if let Some(job) = shared.deques[victim]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            return Some((job, true));
+        }
+    }
+    None
+}
+
+// ------------------------------------------------------- deficit round robin
+
+/// Upper bound on accumulated deficit, in quanta: an idle or descheduled
+/// tenant can burst at most this many rounds' worth of ticks when it wakes,
+/// so a long-idle tenant cannot monopolise a round.
+const MAX_BURST_QUANTA: u64 = 4;
+
+/// Deficit-round-robin tick budgeting (fairness layer of the scheduler).
+///
+/// Each runnable tenant receives one quantum of ticks per round (the
+/// hypervisor's round tick cap). Ticks it does not consume — IO-bound
+/// tenants spend their round waiting on simulated transport, not ticking —
+/// accumulate as *deficit*, bounded at `MAX_BURST_QUANTA` (4) quanta, and
+/// are added to later budgets. Compute-bound tenants always exhaust their budget, so
+/// their deficit stays at zero and they can never squeeze an IO-bound
+/// tenant's share; conversely a starved IO-bound tenant wakes up with a
+/// bounded burst allowance instead of a single quantum.
+#[derive(Debug, Default, Clone)]
+pub struct DeficitRoundRobin {
+    deficits: std::collections::BTreeMap<u64, u64>,
+}
+
+impl DeficitRoundRobin {
+    /// Creates an empty scheduler state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants this round's quantum to a runnable tenant and returns its tick
+    /// budget (carried deficit + quantum, capped at the burst bound).
+    pub fn grant(&mut self, app: u64, quantum: u64) -> u64 {
+        let quantum = quantum.max(1);
+        let deficit = self.deficits.entry(app).or_insert(0);
+        *deficit = (*deficit + quantum).min(quantum.saturating_mul(MAX_BURST_QUANTA));
+        *deficit
+    }
+
+    /// Charges the ticks a tenant actually executed against its deficit.
+    pub fn charge(&mut self, app: u64, ticks: u64) {
+        if let Some(deficit) = self.deficits.get_mut(&app) {
+            *deficit = deficit.saturating_sub(ticks);
+        }
+    }
+
+    /// Forgets a tenant (on disconnect).
+    pub fn forget(&mut self, app: u64) {
+        self.deficits.remove(&app);
+    }
+
+    /// Current deficit of a tenant (unspent tick allowance).
+    pub fn deficit(&self, app: u64) -> u64 {
+        self.deficits.get(&app).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn batch_results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<_> = (0..64u64)
+            .map(|i| {
+                move || {
+                    // Vary the work so completion order scrambles.
+                    let mut acc = i;
+                    for _ in 0..(i % 7) * 1000 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    (i, acc)
+                }
+            })
+            .collect();
+        let results = pool.run_batch(jobs);
+        assert_eq!(results.len(), 64);
+        for (idx, (out, _busy)) in results.into_iter().enumerate() {
+            let Ok((i, _)) = out else {
+                panic!("job {} failed", idx)
+            };
+            assert_eq!(i, idx as u64, "result order is submission order");
+        }
+        assert_eq!(pool.stats().executed, 64);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = WorkerPool::new(2);
+        for round in 0..10u64 {
+            let results = pool.run_batch((0..8).map(|i| move || round * 8 + i).collect::<Vec<_>>());
+            for (i, (v, _)) in results.into_iter().enumerate() {
+                assert_eq!(v.ok(), Some(round * 8 + i as u64));
+            }
+        }
+        assert_eq!(pool.stats().executed, 80);
+    }
+
+    #[test]
+    fn stealing_rebalances_skewed_submission() {
+        // Maximally skewed submission: single-job batches always land on
+        // deque 0, but any of the 4 workers can claim them — every claim by
+        // workers 1..3 is a steal. Over 64 batches the claimant winning the
+        // race is worker 0 every single time only with vanishing
+        // probability, so the steal path must fire.
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let c = Arc::clone(&counter);
+            pool.run_batch(vec![move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }]);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        let stats = pool.stats();
+        assert_eq!(stats.executed, 64);
+        assert!(
+            stats.steals > 0,
+            "steals must rebalance jobs submitted to one deque"
+        );
+    }
+
+    #[test]
+    fn panicking_job_is_an_err_outcome_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let mut results = pool.run_batch(vec![
+            Box::new(|| 1u64) as Box<dyn FnOnce() -> u64 + Send>,
+            Box::new(|| panic!("tenant bug")),
+        ]);
+        assert_eq!(results.len(), 2, "siblings' results are not discarded");
+        assert_eq!(results.remove(0).0.ok(), Some(1), "healthy job succeeded");
+        assert!(
+            results.remove(0).0.is_err(),
+            "panic returned as Err outcome"
+        );
+        // The worker threads survived the unwind: the pool still works.
+        let results = pool.run_batch(vec![
+            Box::new(|| 7u64) as Box<dyn FnOnce() -> u64 + Send>,
+            Box::new(|| 8u64),
+        ]);
+        assert_eq!(results[0].0.as_ref().ok(), Some(&7));
+        assert_eq!(results[1].0.as_ref().ok(), Some(&8));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        let results: Vec<(std::thread::Result<u32>, u64)> =
+            pool.run_batch(Vec::<fn() -> u32>::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn drr_carries_unspent_budget_bounded() {
+        let mut drr = DeficitRoundRobin::new();
+        // Compute-bound: consumes everything, budget stays one quantum.
+        assert_eq!(drr.grant(1, 100), 100);
+        drr.charge(1, 100);
+        assert_eq!(drr.grant(1, 100), 100);
+        drr.charge(1, 100);
+        assert_eq!(drr.deficit(1), 0);
+
+        // IO-bound: consumes a sliver, deficit carries...
+        assert_eq!(drr.grant(2, 100), 100);
+        drr.charge(2, 5);
+        assert_eq!(drr.grant(2, 100), 195);
+        drr.charge(2, 5);
+        // ...but is capped at MAX_BURST_QUANTA rounds' worth.
+        for _ in 0..10 {
+            drr.grant(2, 100);
+            drr.charge(2, 0);
+        }
+        assert_eq!(drr.deficit(2), 400);
+        assert_eq!(drr.grant(2, 100), 400);
+
+        drr.forget(2);
+        assert_eq!(drr.deficit(2), 0);
+    }
+
+    #[test]
+    fn sched_policy_default_is_sequential() {
+        assert_eq!(SchedPolicy::default(), SchedPolicy::Sequential);
+        assert_eq!(SchedPolicy::Sequential.workers(), 1);
+        assert_eq!(SchedPolicy::Parallel { workers: 0 }.workers(), 1);
+        assert_eq!(SchedPolicy::Parallel { workers: 8 }.workers(), 8);
+    }
+}

@@ -941,3 +941,11 @@ pub fn stmt_reads(stmt: &Stmt) -> Vec<String> {
     visit(stmt, &mut out);
     out
 }
+
+// The reference interpreter crosses threads inside the hypervisor's parallel
+// scheduler (as the fallback software engine of a tenant's `Runtime`), so it
+// must stay `Send`: plain owned state, no `Rc`/`RefCell`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Interpreter>();
+};

@@ -52,6 +52,12 @@ pub struct TickReport {
 }
 
 /// The engine ABI shared by software and hardware execution.
+///
+/// `Send` is a supertrait: the hypervisor's parallel scheduler moves engines
+/// (inside their `Runtime`s) across worker threads between rounds, so every
+/// engine implementation must be transferable. All three engines are plain
+/// owned data — no `Rc`, no interior mutability — which the assertions at the
+/// bottom of this file enforce at compile time.
 pub trait Engine: Send {
     /// Where the engine runs.
     fn kind(&self) -> EngineKind;
@@ -532,6 +538,16 @@ impl Engine for HardwareEngine {
         effects
     }
 }
+
+// Compile-time proof that every engine (and thus `Box<dyn Engine>`) can cross
+// threads: the parallel hypervisor scheduler depends on it.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SoftwareEngine>();
+    assert_send::<CompiledEngine>();
+    assert_send::<HardwareEngine>();
+    assert_send::<Box<dyn Engine>>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -443,6 +443,13 @@ impl Runtime {
         words * self.transport_ns + 10 * self.transport_ns
     }
 
+    /// Captures the program state *without* side effects: no simulated-time
+    /// advance, no checkpoint entry. Used by differential harnesses to compare
+    /// tenant state across scheduling policies without perturbing the run.
+    pub fn peek_state(&self) -> StateSnapshot {
+        self.engine.save_state()
+    }
+
     /// Captures the program state under a named tag (the scripted form of `$save`).
     pub fn save(&mut self, tag: impl Into<String>) -> StateSnapshot {
         let snapshot = self.engine.save_state();
@@ -566,6 +573,15 @@ impl Runtime {
         }
     }
 }
+
+// The hypervisor's parallel scheduler ships whole `Runtime`s to worker
+// threads for the duration of a round, so the execution stack must be `Send`
+// end-to-end (engines via the `Engine: Send` supertrait, plus the
+// environment, profiler, and checkpoint store). Enforced at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Runtime>();
+};
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

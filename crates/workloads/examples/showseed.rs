@@ -2,12 +2,13 @@
 //! compiled engine) or print one seed's generated source.
 //!
 //! ```text
-//! cargo run --release -p synergy-workloads --example showseed -- 7        # print seed 7
-//! cargo run --release -p synergy-workloads --example showseed -- 0 5000  # sweep seeds 0..5000
+//! cargo run --release -p synergy-workloads --example showseed -- 7           # print seed 7
+//! cargo run --release -p synergy-workloads --example showseed -- 0 5000     # sweep seeds 0..5000
+//! cargo run --release -p synergy-workloads --example showseed -- corpus dir # dump the pinned corpus
 //! ```
 
 use synergy_interp::{BufferEnv, Interpreter};
-use synergy_workloads::{fuzz_input_data, generate_fuzz_design};
+use synergy_workloads::{fuzz_input_data, generate_fuzz_design, REGRESSION_CORPUS};
 
 fn run_seed(seed: u64, ticks: usize) -> Result<(), String> {
     let d = generate_fuzz_design(seed);
@@ -54,12 +55,43 @@ fn run_seed(seed: u64, ticks: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes every pinned regression-corpus seed's generated source into `dir`
+/// (one `seed_NNN.v` per seed, plus an index), re-verifying each seed on the
+/// way. CI uploads the directory as the fuzz-corpus workflow artifact.
+fn dump_corpus(dir: &str) {
+    std::fs::create_dir_all(dir).expect("create corpus dir");
+    let mut index = String::from("seed\tfile\n");
+    for &seed in REGRESSION_CORPUS {
+        run_seed(seed, 24).unwrap_or_else(|e| panic!("corpus seed {} regressed: {}", seed, e));
+        let file = format!("seed_{:03}.v", seed);
+        std::fs::write(
+            format!("{}/{}", dir, file),
+            generate_fuzz_design(seed).source,
+        )
+        .expect("write corpus design");
+        index.push_str(&format!("{}\t{}\n", seed, file));
+    }
+    std::fs::write(format!("{}/INDEX.tsv", dir), index).expect("write corpus index");
+    println!(
+        "dumped {} corpus designs to {}",
+        REGRESSION_CORPUS.len(),
+        dir
+    );
+}
+
 fn main() {
-    let args: Vec<u64> = std::env::args()
-        .skip(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [mode, dir] = args.as_slice() {
+        if mode == "corpus" {
+            dump_corpus(dir);
+            return;
+        }
+    }
+    let nums: Vec<u64> = args
+        .iter()
         .map(|a| a.parse().expect("numeric seed"))
         .collect();
-    match args.as_slice() {
+    match nums.as_slice() {
         [seed] => println!("{}", generate_fuzz_design(*seed).source),
         [start, end] => {
             let mut failures = 0;
@@ -74,6 +106,6 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        _ => eprintln!("usage: showseed <seed> | showseed <start> <end>"),
+        _ => eprintln!("usage: showseed <seed> | showseed <start> <end> | showseed corpus <dir>"),
     }
 }

@@ -377,6 +377,29 @@ impl Gen {
     }
 }
 
+/// The cross-engine regression corpus: a fixed spread of seeds pinned so the
+/// exact same generated designs run on every CI invocation (the random
+/// proptest sweeps draw fresh seeds per harness change). Shared by
+/// `tests/fuzz_differential.rs` (every corpus seed must stay bit-identical
+/// across engines) and the `showseed corpus` dump mode (CI uploads the
+/// corpus sources as a workflow artifact).
+pub const REGRESSION_CORPUS: &[u64] = &[
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 42, 47, 56, 59, 61, 77, 88, 93, 104, 131, 202, 241,
+];
+
+/// A minimal hostile tenant for scheduler/quarantine tests: a zero-delay
+/// oscillator that elaborates fine but errors at runtime on both engines
+/// when the settle cap trips (every update round re-triggers the
+/// level-sensitive block). Shared by the hypervisor quarantine tests and
+/// `tests/hv_parallel.rs` so the fixture cannot drift between suites.
+pub const HOSTILE_DESIGN: &str = r#"
+    module Hostile(input wire clock);
+        reg f = 0;
+        always @(posedge clock) f <= 1;
+        always @(f) f <= ~f;
+    endmodule
+"#;
+
 /// Generates a random valid design from a seed. The same seed always yields
 /// the same design.
 pub fn generate(seed: u64) -> GeneratedDesign {

@@ -13,7 +13,10 @@ pub mod fuzz;
 pub use benchmarks::{
     adpcm, all, bitcoin, by_name, df, input_data, mips32, nw, regex, Benchmark, Style,
 };
-pub use fuzz::{fuzz_input_data, generate as generate_fuzz_design, GeneratedDesign};
+pub use fuzz::{
+    fuzz_input_data, generate as generate_fuzz_design, GeneratedDesign, HOSTILE_DESIGN,
+    REGRESSION_CORPUS,
+};
 
 #[cfg(test)]
 mod tests {

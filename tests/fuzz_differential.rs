@@ -109,11 +109,13 @@ proptest! {
     }
 }
 
-/// Regression corpus: a fixed spread of seeds pinned as deterministic cases
-/// so the exact same designs run on every CI invocation (the random sweep
-/// above draws fresh seeds per harness change). Fuzzing with this generator
-/// caught two real engine bugs during development, both now also pinned as
-/// structural unit tests in `synergy-codegen`:
+/// Regression corpus: the fixed seed spread pinned in
+/// `synergy_workloads::REGRESSION_CORPUS` so the exact same designs run on
+/// every CI invocation (the random sweep above draws fresh seeds per harness
+/// change); CI also uploads the corpus sources as a workflow artifact via
+/// `showseed corpus`. Fuzzing with this generator caught two real engine
+/// bugs during development, both now also pinned as structural unit tests in
+/// `synergy-codegen`:
 ///
 /// * merged partial-driver groups did not rebase branch targets when member
 ///   bytecode was concatenated (executor stack underflow mid-propagate) —
@@ -123,10 +125,7 @@ proptest! {
 ///   `self_triggering_designs_error_identically_on_both_engines`.
 #[test]
 fn regression_corpus_stays_bit_identical() {
-    const CORPUS: &[u64] = &[
-        3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 42, 47, 56, 59, 61, 77, 88, 93, 104, 131, 202, 241,
-    ];
-    for &seed in CORPUS {
+    for &seed in synergy::workloads::REGRESSION_CORPUS {
         assert_engines_agree(seed);
     }
 }
