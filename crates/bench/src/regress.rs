@@ -3,10 +3,12 @@
 //! Re-measures the two committed performance envelopes at smoke scale and
 //! compares them against the checked-in `BENCH_*.json` baselines:
 //!
-//! * `BENCH_interp_vs_compiled.json` — the compiled engine's per-workload
-//!   speedup over the interpreter (PR 1/2's tentpole win);
+//! * `BENCH_interp_vs_compiled.json` — per workload, the default compiled
+//!   engine's (regalloc tier) speedup over the interpreter (PR 1/2's
+//!   tentpole win) *and* the regalloc tier's `regalloc_over_stack` ratio
+//!   over the stack-bytecode tier (PR 4's tentpole win);
 //! * `BENCH_hv_scaling.json` — the parallel scheduler's model speedup for
-//!   the 8-worker / 32-tenant mixed fleet (this PR's tentpole win).
+//!   the 8-worker / 32-tenant mixed fleet (PR 3's tentpole win).
 //!
 //! Only *ratios* are compared — absolute ticks/sec vary wildly across CI
 //! runners, but the compiled/interpreted and parallel/sequential ratios are
@@ -57,10 +59,22 @@ fn handicap() -> f64 {
         .unwrap_or(1.0)
 }
 
-/// Re-measures the compiled engine's speedup over the interpreter for one
-/// workload (best of `reps` timings of `ticks` ticks each, to shave runner
-/// noise).
-fn measure_engine_speedup(bench: &synergy::Benchmark, ticks: usize, reps: usize) -> f64 {
+/// Which execution engine a measurement times.
+#[derive(Clone, Copy)]
+enum Measured {
+    Interpreter,
+    Compiled(synergy::codegen::Tier),
+}
+
+/// Times one workload on one engine: best of `reps` timings of `ticks`
+/// ticks each (to shave runner noise), with construction and lowering kept
+/// *outside* the timed region so the measurement is steady-state ticks/sec.
+fn measure_ticks_ns(
+    bench: &synergy::Benchmark,
+    engine: Measured,
+    ticks: usize,
+    reps: usize,
+) -> u64 {
     let design = synergy::vlog::compile(&bench.source, &bench.top).expect("workload compiles");
     let input = bench.input_path.as_ref().map(|p| {
         (
@@ -68,37 +82,40 @@ fn measure_engine_speedup(bench: &synergy::Benchmark, ticks: usize, reps: usize)
             synergy::workloads::input_data(&bench.name, 4 * ticks),
         )
     });
-    let time_engine = |compiled: bool| -> u64 {
-        let prog = compiled.then(|| synergy::codegen::compile(&design).expect("lowers"));
-        (0..reps)
-            .map(|_| {
-                let mut env = synergy::interp::BufferEnv::new();
-                if let Some((path, data)) = &input {
-                    env.add_file(path.clone(), data.clone());
-                }
-                let start = Instant::now();
-                match &prog {
-                    Some(prog) => {
-                        let mut sim = synergy::codegen::CompiledSim::new(prog.clone());
-                        for _ in 0..ticks {
-                            sim.tick(&bench.clock, &mut env).expect("ticks");
-                        }
-                    }
-                    None => {
-                        let mut interp = synergy::interp::Interpreter::new(design.clone());
-                        for _ in 0..ticks {
-                            interp.tick(&bench.clock, &mut env).expect("ticks");
-                        }
-                    }
-                }
-                start.elapsed().as_nanos() as u64
-            })
-            .min()
-            .expect("at least one rep")
+    let base_sim = match engine {
+        Measured::Interpreter => None,
+        Measured::Compiled(tier) => {
+            let prog = synergy::codegen::compile(&design).expect("lowers");
+            Some(synergy::codegen::CompiledSim::with_tier(prog, tier).expect("translates"))
+        }
     };
-    let interp_ns = time_engine(false);
-    let compiled_ns = time_engine(true);
-    interp_ns as f64 / compiled_ns.max(1) as f64
+    (0..reps)
+        .map(|_| {
+            let mut env = synergy::interp::BufferEnv::new();
+            if let Some((path, data)) = &input {
+                env.add_file(path.clone(), data.clone());
+            }
+            match &base_sim {
+                Some(base) => {
+                    let mut sim = base.clone();
+                    let start = Instant::now();
+                    for _ in 0..ticks {
+                        sim.tick(&bench.clock, &mut env).expect("ticks");
+                    }
+                    start.elapsed().as_nanos() as u64
+                }
+                None => {
+                    let mut interp = synergy::interp::Interpreter::new(design.clone());
+                    let start = Instant::now();
+                    for _ in 0..ticks {
+                        interp.tick(&bench.clock, &mut env).expect("ticks");
+                    }
+                    start.elapsed().as_nanos() as u64
+                }
+            }
+        })
+        .min()
+        .expect("at least one rep")
 }
 
 /// Runs every gate check against the committed baselines.
@@ -114,11 +131,34 @@ pub fn run_checks(interp_vs_compiled: &str, hv_scaling: &str) -> Vec<Check> {
         let baseline = num_field(obj, "speedup").expect("baseline row has a speedup");
         let bench = synergy::workloads::by_name(&workload)
             .unwrap_or_else(|| panic!("baseline names unknown workload '{}'", workload));
-        let measured = measure_engine_speedup(&bench, 200, 3) / handicap;
+        let interp_ns = measure_ticks_ns(&bench, Measured::Interpreter, 200, 3);
+        let stack_ns = measure_ticks_ns(
+            &bench,
+            Measured::Compiled(synergy::codegen::Tier::Stack),
+            200,
+            3,
+        );
+        let regalloc_ns = measure_ticks_ns(
+            &bench,
+            Measured::Compiled(synergy::codegen::Tier::RegAlloc),
+            200,
+            3,
+        );
+        // The headline speedup is the *default* compiled engine (regalloc
+        // tier) over the interpreter.
         checks.push(Check {
             name: format!("interp_vs_compiled/{}", workload),
             baseline,
-            measured,
+            measured: interp_ns as f64 / regalloc_ns.max(1) as f64 / handicap,
+        });
+        // The regalloc tier must also hold its ratio over the stack tier
+        // (this PR's tentpole win).
+        let baseline_tiers =
+            num_field(obj, "regalloc_over_stack").expect("baseline row has regalloc_over_stack");
+        checks.push(Check {
+            name: format!("compiled_vs_regalloc/{}", workload),
+            baseline: baseline_tiers,
+            measured: stack_ns as f64 / regalloc_ns.max(1) as f64 / handicap,
         });
     }
 

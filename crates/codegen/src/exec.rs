@@ -1,31 +1,42 @@
-//! The register-machine executor for [`CompiledProgram`]s.
+//! The executors for [`CompiledProgram`]s.
 //!
 //! [`CompiledSim`] reproduces the reference interpreter's scheduling semantics
 //! exactly — evaluate/update until fixpoint, edge-detected guards, per-tick
-//! non-blocking latching — but over the compiled IR: dirty-bit driven
-//! re-evaluation of the levelized combinational nodes (only affected cones
-//! recompute) and straight-line bytecode dispatch for procedural bodies. State
-//! capture produces the same [`StateSnapshot`] type the interpreter uses, so
-//! snapshots migrate losslessly between the two engines (and onward to the
-//! hardware engine).
+//! non-blocking latching — but over the compiled IR, through one of two
+//! tiers:
+//!
+//! * the **stack tier** (this module): a bytecode interpreter over an operand
+//!   stack of [`Val`]s, covering the full compiled envelope;
+//! * the **regalloc tier** ([`crate::regalloc`] + [`crate::wordexec`]): the
+//!   same programs lowered further into register-allocated, width-specialized
+//!   three-address code over a flat `u64` arena — the default, roughly an
+//!   order of magnitude faster on word-sized designs.
+//!
+//! Both tiers drive combinational re-evaluation with a level-bucketed dirty
+//! worklist (only the affected cone recomputes, without scanning the node
+//! array) and produce the same [`StateSnapshot`] type the interpreter uses,
+//! so snapshots migrate losslessly between the interpreter, either tier, and
+//! the hardware engine.
 
 use crate::ir::{binary, concat, slice, unary, CompiledProgram, Op, SlotRef, Val, MAX_LOOP_ITERS};
+use crate::wordexec::WordMachine;
+use crate::Tier;
 use std::collections::BTreeMap;
 use synergy_interp::{StateSnapshot, SystemEnv, TaskEffect, Value};
 use synergy_vlog::ast::Edge;
 use synergy_vlog::{Bits, VlogError, VlogResult};
 
 /// Upper bound on evaluate-loop iterations, mirroring the interpreter.
-const MAX_PROPAGATION_ITERS: usize = 10_000;
+pub(crate) const MAX_PROPAGATION_ITERS: usize = 10_000;
 
 /// Upper bound on evaluate/update rounds per settle, mirroring the
 /// interpreter's cap (same limit, same error text) so self-triggering
 /// designs fail identically on both engines.
-const MAX_SETTLE_ITERS: usize = 1_000;
+pub(crate) const MAX_SETTLE_ITERS: usize = 1_000;
 
 /// A no-op environment for guard evaluation and post-restore propagation,
 /// mirroring the interpreter's `NullEnv`.
-struct NoopEnv;
+pub(crate) struct NoopEnv;
 
 impl SystemEnv for NoopEnv {
     fn print(&mut self, _text: &str) {}
@@ -51,9 +62,9 @@ struct MemData {
     elems: Vec<Val>,
 }
 
-/// Mutable execution state, split from the immutable program so bytecode can
-/// borrow code slices while mutating values.
-#[derive(Debug)]
+/// Mutable execution state of the stack tier, split from the immutable
+/// program so bytecode can borrow code slices while mutating values.
+#[derive(Debug, Clone)]
 struct State {
     nets: Vec<Val>,
     mems: Vec<MemData>,
@@ -64,19 +75,41 @@ struct State {
     print_buf: String,
     nb: Vec<(u32, Val)>,
     comb_dirty: Vec<bool>,
-    comb_any: bool,
+    /// Level-bucketed worklist of dirty comb positions (bucket = level - 1).
+    comb_pending: Vec<Vec<u32>>,
+    /// Bucket index per comb position.
+    comb_bucket: Vec<u32>,
+    pending_count: usize,
     guard_prev: Vec<Vec<Val>>,
+    /// Reused between calls so edge detection allocates nothing per cycle.
+    triggered_scratch: Vec<u32>,
     effects: Vec<TaskEffect>,
     time: u64,
     finished: Option<u32>,
     initials_run: bool,
 }
 
+/// The execution backend behind [`CompiledSim`].
+#[derive(Clone)]
+enum Backend {
+    Stack(Box<State>),
+    Word(Box<WordMachine>),
+}
+
 /// A compiled design plus its execution state: the compiled software engine.
-#[derive(Debug)]
+#[derive(Clone)]
 pub struct CompiledSim {
     prog: CompiledProgram,
-    st: State,
+    backend: Backend,
+}
+
+impl std::fmt::Debug for CompiledSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSim")
+            .field("program", &self.prog.name)
+            .field("tier", &self.tier())
+            .finish()
+    }
 }
 
 fn store_net(prog: &CompiledProgram, st: &mut State, net: u32, value: Val) {
@@ -89,30 +122,35 @@ fn store_net(prog: &CompiledProgram, st: &mut State, net: u32, value: Val) {
     }
 }
 
+#[inline]
+fn mark_comb(st: &mut State, pos: u32) {
+    if !st.comb_dirty[pos as usize] {
+        st.comb_dirty[pos as usize] = true;
+        st.comb_pending[st.comb_bucket[pos as usize] as usize].push(pos);
+        st.pending_count += 1;
+    }
+}
+
 fn mark_net(prog: &CompiledProgram, st: &mut State, net: u32) {
     for &pos in &prog.net_deps[net as usize] {
-        st.comb_dirty[pos as usize] = true;
-        st.comb_any = true;
+        mark_comb(st, pos);
     }
     // A write to a continuously driven net must also re-wake its driver so
     // the assigned value wins again, exactly as the interpreter's full
     // re-evaluation loop makes it win.
     if let Some(pos) = prog.net_driver[net as usize] {
-        st.comb_dirty[pos as usize] = true;
-        st.comb_any = true;
+        mark_comb(st, pos);
     }
 }
 
 fn mark_mem(prog: &CompiledProgram, st: &mut State, mem: u32) {
     for &pos in &prog.mem_deps[mem as usize] {
-        st.comb_dirty[pos as usize] = true;
-        st.comb_any = true;
+        mark_comb(st, pos);
     }
     // A write to a continuously driven memory re-wakes its element drivers,
     // exactly as `mark_net` re-wakes a driven net's driver.
     if let Some(pos) = prog.mem_driver[mem as usize] {
-        st.comb_dirty[pos as usize] = true;
-        st.comb_any = true;
+        mark_comb(st, pos);
     }
 }
 
@@ -365,10 +403,8 @@ fn exec(
     Ok(())
 }
 
-impl CompiledSim {
-    /// Instantiates execution state for a compiled program, with registers at
-    /// their declared reset values.
-    pub fn new(prog: CompiledProgram) -> Self {
+impl State {
+    fn new(prog: &CompiledProgram) -> State {
         let nets = prog
             .nets
             .iter()
@@ -385,7 +421,17 @@ impl CompiledSim {
                 elems: vec![Val::zero(m.width as usize); m.depth as usize],
             })
             .collect();
-        let st = State {
+        let comb_bucket: Vec<u32> = prog
+            .comb
+            .iter()
+            .map(|n| n.level.saturating_sub(1))
+            .collect();
+        let n_levels = comb_bucket
+            .iter()
+            .map(|&b| b as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut st = State {
             nets,
             mems,
             temps: vec![Val::zero(1); prog.n_temps as usize],
@@ -394,19 +440,322 @@ impl CompiledSim {
             value_reg: Val::zero(1),
             print_buf: String::new(),
             nb: Vec::new(),
-            comb_dirty: vec![true; prog.comb.len()],
-            comb_any: !prog.comb.is_empty(),
+            comb_dirty: vec![false; prog.comb.len()],
+            comb_pending: vec![Vec::new(); n_levels],
+            comb_bucket,
+            pending_count: 0,
             guard_prev: prog
                 .always
                 .iter()
                 .map(|a| vec![Val::zero(1); a.guards.len()])
                 .collect(),
+            triggered_scratch: Vec::new(),
             effects: Vec::new(),
             time: 0,
             finished: None,
             initials_run: false,
         };
-        CompiledSim { prog, st }
+        for pos in 0..prog.comb.len() {
+            mark_comb(&mut st, pos as u32);
+        }
+        st
+    }
+
+    /// Writes a scalar net by id (the fast path for clock toggling).
+    fn set_net(&mut self, prog: &CompiledProgram, id: u32, value: &Bits) {
+        let width = prog.nets[id as usize].width as usize;
+        let new = Val::from_bits(value).resize(width);
+        self.nets[id as usize] = new;
+        mark_net(prog, self, id);
+    }
+
+    /// Re-evaluates dirty combinational cones, draining the level-bucketed
+    /// worklist in ascending level order. A node's stores only mark strictly
+    /// deeper levels (or itself, absorbed by the post-execution clear), so
+    /// one sweep reaches the fixpoint touching exactly the dirty cone.
+    fn propagate(&mut self, prog: &CompiledProgram, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        if self.pending_count == 0 {
+            return Ok(());
+        }
+        for lvl in 0..self.comb_pending.len() {
+            while let Some(pos) = self.comb_pending[lvl].pop() {
+                self.pending_count -= 1;
+                if let Err(e) = exec(prog, self, &prog.comb[pos as usize].code, env) {
+                    // Keep the worklist invariant (dirty nodes stay queued).
+                    self.comb_pending[lvl].push(pos);
+                    self.pending_count += 1;
+                    return Err(e);
+                }
+                // Clear after executing: the node's own store re-marks it (as
+                // the target's driver), and that self-mark is satisfied.
+                self.comb_dirty[pos as usize] = false;
+            }
+            if self.pending_count == 0 {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Determines which always blocks fire, updating stored guard values —
+    /// the same edge-detection algorithm as the interpreter. Fills the
+    /// caller's scratch buffer instead of allocating.
+    fn collect_triggered(&mut self, prog: &CompiledProgram, triggered: &mut Vec<u32>) {
+        triggered.clear();
+        for idx in 0..prog.always.len() {
+            let ap = &prog.always[idx];
+            if ap.guards.is_empty() {
+                if self.guard_prev[idx].len() != ap.star.len() {
+                    self.guard_prev[idx] = vec![Val::zero(1); ap.star.len()];
+                }
+                let mut fired = false;
+                for (eidx, s) in ap.star.iter().enumerate() {
+                    let current = match s {
+                        SlotRef::Net(i) => &self.nets[*i as usize],
+                        SlotRef::Mem(i) => &self.mems[*i as usize].elems[0],
+                    };
+                    if self.guard_prev[idx][eidx] != *current {
+                        fired = true;
+                        self.guard_prev[idx][eidx] = current.clone();
+                    }
+                }
+                if fired {
+                    triggered.push(idx as u32);
+                }
+                continue;
+            }
+            let mut fired = false;
+            for (eidx, (edge, code)) in ap.guards.iter().enumerate() {
+                let mut noop = NoopEnv;
+                let current = match exec(prog, self, code, &mut noop) {
+                    Ok(()) => self.stack.pop().unwrap_or_else(|| Val::zero(1)),
+                    Err(_) => {
+                        self.stack.clear();
+                        Val::zero(1)
+                    }
+                };
+                let prev = &mut self.guard_prev[idx][eidx];
+                fired |= match edge {
+                    Edge::Pos => !prev.bit(0) && current.bit(0),
+                    Edge::Neg => prev.bit(0) && !current.bit(0),
+                    Edge::Any => *prev != current,
+                };
+                *prev = current;
+            }
+            if fired {
+                triggered.push(idx as u32);
+            }
+        }
+    }
+
+    /// Runs `initial` blocks if they have not run yet.
+    fn run_initials(&mut self, prog: &CompiledProgram, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        if self.initials_run {
+            return Ok(());
+        }
+        self.initials_run = true;
+        for i in 0..prog.initials.len() {
+            exec(prog, self, &prog.initials[i], env)?;
+        }
+        Ok(())
+    }
+
+    /// Runs evaluation events to a fixed point (the `evaluate` ABI request).
+    fn evaluate(&mut self, prog: &CompiledProgram, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        self.run_initials(prog, env)?;
+        let mut triggered = std::mem::take(&mut self.triggered_scratch);
+        let result = (|| {
+            let mut iterations = 0usize;
+            loop {
+                self.propagate(prog, env)?;
+                self.collect_triggered(prog, &mut triggered);
+                if triggered.is_empty() {
+                    return Ok(());
+                }
+                for &idx in triggered.iter() {
+                    if self.finished.is_some() {
+                        return Ok(());
+                    }
+                    exec(prog, self, &prog.always[idx as usize].body, env)?;
+                    self.propagate(prog, env)?;
+                }
+                iterations += 1;
+                if iterations > MAX_PROPAGATION_ITERS {
+                    return Err(VlogError::Elaborate(
+                        "always blocks did not stabilise (oscillating design?)".into(),
+                    ));
+                }
+            }
+        })();
+        self.triggered_scratch = triggered;
+        result
+    }
+
+    /// Latches pending non-blocking assignments (the `update` ABI request).
+    fn update(&mut self, prog: &CompiledProgram, env: &mut dyn SystemEnv) -> VlogResult<bool> {
+        if self.nb.is_empty() {
+            return Ok(false);
+        }
+        let pending = std::mem::take(&mut self.nb);
+        for (site, value) in pending {
+            self.value_reg = value;
+            exec(prog, self, &prog.nb_sites[site as usize], env)?;
+        }
+        Ok(true)
+    }
+
+    /// Runs evaluate/update until no more updates are pending.
+    fn settle(&mut self, prog: &CompiledProgram, env: &mut dyn SystemEnv) -> VlogResult<()> {
+        for _ in 0..MAX_SETTLE_ITERS {
+            self.evaluate(prog, env)?;
+            if !self.update(prog, env)? {
+                return Ok(());
+            }
+        }
+        Err(VlogError::Elaborate(
+            "non-blocking updates did not converge (self-triggering design?)".into(),
+        ))
+    }
+
+    fn tick_net(
+        &mut self,
+        prog: &CompiledProgram,
+        clock: u32,
+        env: &mut dyn SystemEnv,
+    ) -> VlogResult<()> {
+        self.set_net(prog, clock, &Bits::from_u64(1, 1));
+        self.settle(prog, env)?;
+        self.set_net(prog, clock, &Bits::from_u64(1, 0));
+        self.settle(prog, env)?;
+        self.time += 1;
+        Ok(())
+    }
+
+    fn save_state(&self, prog: &CompiledProgram) -> StateSnapshot {
+        let mut values = BTreeMap::new();
+        for (name, slot) in &prog.slots {
+            match slot {
+                SlotRef::Net(i) => {
+                    let decl = &prog.nets[*i as usize];
+                    if decl.is_register {
+                        values.insert(
+                            name.clone(),
+                            Value::Scalar(self.nets[*i as usize].to_bits()),
+                        );
+                    }
+                }
+                SlotRef::Mem(i) => {
+                    let decl = &prog.mems[*i as usize];
+                    if decl.is_register {
+                        values.insert(
+                            name.clone(),
+                            Value::Memory(
+                                self.mems[*i as usize]
+                                    .elems
+                                    .iter()
+                                    .map(Val::to_bits)
+                                    .collect(),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        StateSnapshot {
+            values,
+            time: self.time,
+        }
+    }
+
+    fn restore_state(&mut self, prog: &CompiledProgram, snapshot: &StateSnapshot) {
+        for (name, value) in &snapshot.values {
+            match (prog.slot(name), value) {
+                (Some(SlotRef::Net(i)), Value::Scalar(b)) => {
+                    self.nets[i as usize] = Val::from_bits(b);
+                }
+                (Some(SlotRef::Mem(i)), Value::Memory(elems)) => {
+                    self.mems[i as usize].elems = elems.iter().map(Val::from_bits).collect();
+                }
+                _ => {}
+            }
+        }
+        self.time = snapshot.time;
+        for pos in 0..prog.comb.len() {
+            mark_comb(self, pos as u32);
+        }
+        let mut noop = NoopEnv;
+        let _ = self.propagate(prog, &mut noop);
+    }
+}
+
+impl CompiledSim {
+    /// Instantiates execution state for a compiled program, with registers at
+    /// their declared reset values.
+    ///
+    /// The tier defaults to [`Tier::RegAlloc`] (overridable with the
+    /// `SYNERGY_COMPILED_TIER=stack` environment escape hatch); programs the
+    /// regalloc translation cannot handle silently fall back to the stack
+    /// tier, exactly like the stack tier falls back to the interpreter.
+    pub fn new(prog: CompiledProgram) -> Self {
+        Self::with_tier_lenient(prog, Tier::from_env())
+    }
+
+    /// Instantiates execution state on a specific tier, falling back from
+    /// [`Tier::RegAlloc`] to [`Tier::Stack`] if translation fails.
+    pub fn with_tier_lenient(prog: CompiledProgram, tier: Tier) -> Self {
+        if tier == Tier::RegAlloc {
+            if let Ok(wm) = WordMachine::compile(&prog) {
+                return CompiledSim {
+                    prog,
+                    backend: Backend::Word(Box::new(wm)),
+                };
+            }
+        }
+        let st = Box::new(State::new(&prog));
+        CompiledSim {
+            prog,
+            backend: Backend::Stack(st),
+        }
+    }
+
+    /// Instantiates execution state on exactly the requested tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VlogError::Unsupported`] if the regalloc translation cannot
+    /// handle the program (callers should fall back to [`Tier::Stack`]).
+    pub fn with_tier(prog: CompiledProgram, tier: Tier) -> VlogResult<Self> {
+        let backend = match tier {
+            Tier::Stack => Backend::Stack(Box::new(State::new(&prog))),
+            Tier::RegAlloc => match WordMachine::compile(&prog) {
+                Ok(wm) => Backend::Word(Box::new(wm)),
+                Err(e) => {
+                    return Err(VlogError::Unsupported(format!(
+                        "regalloc tier cannot translate this program: {}",
+                        e
+                    )))
+                }
+            },
+        };
+        Ok(CompiledSim { prog, backend })
+    }
+
+    /// Renders the regalloc tier's translated programs (debug aid; `None`
+    /// on the stack tier).
+    #[doc(hidden)]
+    pub fn dump_word_programs(&self) -> Option<String> {
+        match &self.backend {
+            Backend::Stack(_) => None,
+            Backend::Word(wm) => Some(wm.dump()),
+        }
+    }
+
+    /// The execution tier actually in use.
+    pub fn tier(&self) -> Tier {
+        match &self.backend {
+            Backend::Stack(_) => Tier::Stack,
+            Backend::Word(_) => Tier::RegAlloc,
+        }
     }
 
     /// The compiled program being executed.
@@ -416,17 +765,26 @@ impl CompiledSim {
 
     /// Current simulation time (incremented by [`CompiledSim::tick`]).
     pub fn time(&self) -> u64 {
-        self.st.time
+        match &self.backend {
+            Backend::Stack(st) => st.time,
+            Backend::Word(wm) => wm.time(),
+        }
     }
 
     /// The exit code passed to `$finish`, if the program has finished.
     pub fn finished(&self) -> Option<u32> {
-        self.st.finished
+        match &self.backend {
+            Backend::Stack(st) => st.finished,
+            Backend::Word(wm) => wm.finished(),
+        }
     }
 
     /// Drains control-flow effects raised since the last call.
     pub fn take_effects(&mut self) -> Vec<TaskEffect> {
-        std::mem::take(&mut self.st.effects)
+        match &mut self.backend {
+            Backend::Stack(st) => std::mem::take(&mut st.effects),
+            Backend::Word(wm) => wm.take_effects(),
+        }
     }
 
     fn slot(&self, name: &str) -> VlogResult<SlotRef> {
@@ -456,15 +814,15 @@ impl CompiledSim {
     ///
     /// Returns an error if the variable does not exist.
     pub fn get(&self, name: &str) -> VlogResult<Value> {
-        Ok(match self.slot(name)? {
-            SlotRef::Net(i) => Value::Scalar(self.st.nets[i as usize].to_bits()),
-            SlotRef::Mem(i) => Value::Memory(
-                self.st.mems[i as usize]
-                    .elems
-                    .iter()
-                    .map(Val::to_bits)
-                    .collect(),
-            ),
+        let slot = self.slot(name)?;
+        Ok(match &self.backend {
+            Backend::Stack(st) => match slot {
+                SlotRef::Net(i) => Value::Scalar(st.nets[i as usize].to_bits()),
+                SlotRef::Mem(i) => {
+                    Value::Memory(st.mems[i as usize].elems.iter().map(Val::to_bits).collect())
+                }
+            },
+            Backend::Word(wm) => wm.value_of(&self.prog, slot),
         })
     }
 
@@ -474,9 +832,13 @@ impl CompiledSim {
     ///
     /// Returns an error if the variable does not exist.
     pub fn get_bits(&self, name: &str) -> VlogResult<Bits> {
-        Ok(match self.slot(name)? {
-            SlotRef::Net(i) => self.st.nets[i as usize].to_bits(),
-            SlotRef::Mem(i) => self.st.mems[i as usize].elems[0].to_bits(),
+        let slot = self.slot(name)?;
+        Ok(match &self.backend {
+            Backend::Stack(st) => match slot {
+                SlotRef::Net(i) => st.nets[i as usize].to_bits(),
+                SlotRef::Mem(i) => st.mems[i as usize].elems[0].to_bits(),
+            },
+            Backend::Word(wm) => wm.bits_of(&self.prog, slot),
         })
     }
 
@@ -493,87 +855,18 @@ impl CompiledSim {
 
     /// Writes a scalar net by id (the fast path for clock toggling).
     pub fn set_net(&mut self, id: u32, value: &Bits) {
-        let width = self.prog.nets[id as usize].width as usize;
-        let new = Val::from_bits(value).resize(width);
-        self.st.nets[id as usize] = new;
-        mark_net(&self.prog, &mut self.st, id);
+        match &mut self.backend {
+            Backend::Stack(st) => st.set_net(&self.prog, id, value),
+            Backend::Word(wm) => wm.set_net(&self.prog, id, value),
+        }
     }
 
     /// `true` if non-blocking assignments are waiting to be latched.
     pub fn there_are_updates(&self) -> bool {
-        !self.st.nb.is_empty()
-    }
-
-    /// Re-evaluates dirty combinational cones in level order.
-    fn propagate(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
-        if !self.st.comb_any {
-            return Ok(());
+        match &self.backend {
+            Backend::Stack(st) => !st.nb.is_empty(),
+            Backend::Word(wm) => wm.there_are_updates(),
         }
-        for i in 0..self.prog.comb.len() {
-            if !self.st.comb_dirty[i] {
-                continue;
-            }
-            exec(&self.prog, &mut self.st, &self.prog.comb[i].code, env)?;
-            // Clear after executing: the node's own store re-marks it (as the
-            // target's driver), and that self-mark is already satisfied.
-            self.st.comb_dirty[i] = false;
-        }
-        // Nodes are in topological order, so a single forward pass reaches the
-        // fixpoint; anything marked during the pass sat strictly ahead of the
-        // cursor and has been processed.
-        self.st.comb_any = false;
-        Ok(())
-    }
-
-    /// Determines which always blocks fire, updating stored guard values —
-    /// the same edge-detection algorithm as the interpreter.
-    fn triggered_blocks(&mut self) -> Vec<usize> {
-        let mut triggered = Vec::new();
-        for idx in 0..self.prog.always.len() {
-            let ap = &self.prog.always[idx];
-            if ap.guards.is_empty() {
-                if self.st.guard_prev[idx].len() != ap.star.len() {
-                    self.st.guard_prev[idx] = vec![Val::zero(1); ap.star.len()];
-                }
-                let mut fired = false;
-                for (eidx, s) in ap.star.iter().enumerate() {
-                    let current = match s {
-                        SlotRef::Net(i) => &self.st.nets[*i as usize],
-                        SlotRef::Mem(i) => &self.st.mems[*i as usize].elems[0],
-                    };
-                    if self.st.guard_prev[idx][eidx] != *current {
-                        fired = true;
-                        self.st.guard_prev[idx][eidx] = current.clone();
-                    }
-                }
-                if fired {
-                    triggered.push(idx);
-                }
-                continue;
-            }
-            let mut fired = false;
-            for (eidx, (edge, code)) in ap.guards.iter().enumerate() {
-                let mut noop = NoopEnv;
-                let current = match exec(&self.prog, &mut self.st, code, &mut noop) {
-                    Ok(()) => self.st.stack.pop().unwrap_or_else(|| Val::zero(1)),
-                    Err(_) => {
-                        self.st.stack.clear();
-                        Val::zero(1)
-                    }
-                };
-                let prev = &mut self.st.guard_prev[idx][eidx];
-                fired |= match edge {
-                    Edge::Pos => !prev.bit(0) && current.bit(0),
-                    Edge::Neg => prev.bit(0) && !current.bit(0),
-                    Edge::Any => *prev != current,
-                };
-                *prev = current;
-            }
-            if fired {
-                triggered.push(idx);
-            }
-        }
-        triggered
     }
 
     /// Runs `initial` blocks if they have not run yet.
@@ -582,14 +875,10 @@ impl CompiledSim {
     ///
     /// Propagates evaluation errors from the initial blocks.
     pub fn run_initials(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
-        if self.st.initials_run {
-            return Ok(());
+        match &mut self.backend {
+            Backend::Stack(st) => st.run_initials(&self.prog, env),
+            Backend::Word(wm) => wm.run_initials(&self.prog, env),
         }
-        self.st.initials_run = true;
-        for i in 0..self.prog.initials.len() {
-            exec(&self.prog, &mut self.st, &self.prog.initials[i], env)?;
-        }
-        Ok(())
     }
 
     /// Runs evaluation events to a fixed point (the `evaluate` ABI request).
@@ -598,27 +887,9 @@ impl CompiledSim {
     ///
     /// Returns an error on oscillating designs or malformed programs.
     pub fn evaluate(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
-        self.run_initials(env)?;
-        let mut iterations = 0usize;
-        loop {
-            self.propagate(env)?;
-            let triggered = self.triggered_blocks();
-            if triggered.is_empty() {
-                return Ok(());
-            }
-            for idx in triggered {
-                if self.st.finished.is_some() {
-                    return Ok(());
-                }
-                exec(&self.prog, &mut self.st, &self.prog.always[idx].body, env)?;
-                self.propagate(env)?;
-            }
-            iterations += 1;
-            if iterations > MAX_PROPAGATION_ITERS {
-                return Err(VlogError::Elaborate(
-                    "always blocks did not stabilise (oscillating design?)".into(),
-                ));
-            }
+        match &mut self.backend {
+            Backend::Stack(st) => st.evaluate(&self.prog, env),
+            Backend::Word(wm) => wm.evaluate(&self.prog, env),
         }
     }
 
@@ -629,20 +900,10 @@ impl CompiledSim {
     ///
     /// Propagates evaluation errors from index expressions.
     pub fn update(&mut self, env: &mut dyn SystemEnv) -> VlogResult<bool> {
-        if self.st.nb.is_empty() {
-            return Ok(false);
+        match &mut self.backend {
+            Backend::Stack(st) => st.update(&self.prog, env),
+            Backend::Word(wm) => wm.update(&self.prog, env),
         }
-        let pending = std::mem::take(&mut self.st.nb);
-        for (site, value) in pending {
-            self.st.value_reg = value;
-            exec(
-                &self.prog,
-                &mut self.st,
-                &self.prog.nb_sites[site as usize],
-                env,
-            )?;
-        }
-        Ok(true)
     }
 
     /// Runs evaluate/update until no more updates are pending.
@@ -654,15 +915,10 @@ impl CompiledSim {
     /// never drain (zero-delay self-triggering edges), exactly as the
     /// interpreter does.
     pub fn settle(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
-        for _ in 0..MAX_SETTLE_ITERS {
-            self.evaluate(env)?;
-            if !self.update(env)? {
-                return Ok(());
-            }
+        match &mut self.backend {
+            Backend::Stack(st) => st.settle(&self.prog, env),
+            Backend::Word(wm) => wm.settle(&self.prog, env),
         }
-        Err(VlogError::Elaborate(
-            "non-blocking updates did not converge (self-triggering design?)".into(),
-        ))
     }
 
     /// Advances one full virtual clock cycle on the named clock input.
@@ -681,80 +937,35 @@ impl CompiledSim {
     ///
     /// Returns an error if evaluation fails.
     pub fn tick_net(&mut self, clock: u32, env: &mut dyn SystemEnv) -> VlogResult<()> {
-        self.set_net(clock, &Bits::from_u64(1, 1));
-        self.settle(env)?;
-        self.set_net(clock, &Bits::from_u64(1, 0));
-        self.settle(env)?;
-        self.st.time += 1;
-        Ok(())
+        match &mut self.backend {
+            Backend::Stack(st) => st.tick_net(&self.prog, clock, env),
+            Backend::Word(wm) => wm.tick_net(&self.prog, clock, env),
+        }
     }
 
     /// Captures the architectural state (registers and memories), in the same
     /// shape the interpreter produces.
     pub fn save_state(&self) -> StateSnapshot {
-        let mut values = BTreeMap::new();
-        for (name, slot) in &self.prog.slots {
-            match slot {
-                SlotRef::Net(i) => {
-                    let decl = &self.prog.nets[*i as usize];
-                    if decl.is_register {
-                        values.insert(
-                            name.clone(),
-                            Value::Scalar(self.st.nets[*i as usize].to_bits()),
-                        );
-                    }
-                }
-                SlotRef::Mem(i) => {
-                    let decl = &self.prog.mems[*i as usize];
-                    if decl.is_register {
-                        values.insert(
-                            name.clone(),
-                            Value::Memory(
-                                self.st.mems[*i as usize]
-                                    .elems
-                                    .iter()
-                                    .map(Val::to_bits)
-                                    .collect(),
-                            ),
-                        );
-                    }
-                }
-            }
-        }
-        StateSnapshot {
-            values,
-            time: self.st.time,
+        match &self.backend {
+            Backend::Stack(st) => st.save_state(&self.prog),
+            Backend::Word(wm) => wm.save_state(&self.prog),
         }
     }
 
     /// Restores a previously captured snapshot (from this engine or the
     /// interpreter) and re-propagates combinational logic.
     pub fn restore_state(&mut self, snapshot: &StateSnapshot) {
-        for (name, value) in &snapshot.values {
-            match (self.prog.slot(name), value) {
-                (Some(SlotRef::Net(i)), Value::Scalar(b)) => {
-                    self.st.nets[i as usize] = Val::from_bits(b);
-                }
-                (Some(SlotRef::Mem(i)), Value::Memory(elems)) => {
-                    self.st.mems[i as usize].elems = elems.iter().map(Val::from_bits).collect();
-                }
-                _ => {}
-            }
+        match &mut self.backend {
+            Backend::Stack(st) => st.restore_state(&self.prog, snapshot),
+            Backend::Word(wm) => wm.restore_state(&self.prog, snapshot),
         }
-        self.st.time = snapshot.time;
-        for d in self.st.comb_dirty.iter_mut() {
-            *d = true;
-        }
-        self.st.comb_any = !self.prog.comb.is_empty();
-        let mut noop = NoopEnv;
-        let _ = self.propagate(&mut noop);
     }
 }
 
 // The hypervisor's parallel scheduler runs `CompiledSim`s on worker threads
-// (one tenant per round job). The value arena (`State`) is plain owned data —
-// dense vectors of values and dirty bits, no shared interior mutability — so
-// the simulator is `Send` by construction; this pins that property.
+// (one tenant per round job). Both backends are plain owned data — dense
+// vectors of values and dirty bits, no shared interior mutability — so the
+// simulator is `Send` by construction; this pins that property.
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<CompiledSim>();

@@ -120,49 +120,73 @@ impl Val {
     }
 }
 
+/// Word-level binary operator on `(value, width)` pairs, the shared scalar
+/// core of the stack tier's [`binary`] and the regalloc tier's `BinW`/fused
+/// ops. Mirrors [`synergy_interp::apply_binary`] bit-for-bit for operands at
+/// most 64 bits wide; returns the result value (masked) and its width.
+#[inline]
+pub fn word_binary(op: BinaryOp, av: u64, aw: u32, bv: u64, bw: u32) -> (u64, u32) {
+    let w = aw.max(bw);
+    let m = mask(w);
+    match op {
+        BinaryOp::Add => (av.wrapping_add(bv) & m, w),
+        BinaryOp::Sub => (av.wrapping_sub(bv) & m, w),
+        BinaryOp::Mul => (av.wrapping_mul(bv) & m, w),
+        BinaryOp::Div => (av.checked_div(bv).unwrap_or(m), w),
+        BinaryOp::Rem => (av.checked_rem(bv).unwrap_or(av), w),
+        BinaryOp::And => (av & bv, w),
+        BinaryOp::Or => (av | bv, w),
+        BinaryOp::Xor => (av ^ bv, w),
+        BinaryOp::Shl => {
+            let n = bv.min(1 << 20);
+            (if n >= 64 { 0 } else { (av << n) & mask(aw) }, aw)
+        }
+        BinaryOp::Shr => {
+            let n = bv.min(1 << 20);
+            (if n >= 64 { 0 } else { av >> n }, aw)
+        }
+        BinaryOp::AShr => {
+            let n = bv.min(1 << 20);
+            let sign = (av >> (aw - 1)) & 1 == 1;
+            let mut out = if n >= 64 { 0 } else { av >> n };
+            if sign {
+                let start = aw.saturating_sub(n as u32);
+                out |= mask(aw) & !mask(start);
+            }
+            (out, aw)
+        }
+        BinaryOp::LogicalAnd => ((av != 0 && bv != 0) as u64, 1),
+        BinaryOp::LogicalOr => ((av != 0 || bv != 0) as u64, 1),
+        BinaryOp::Eq => ((av == bv) as u64, 1),
+        BinaryOp::Ne => ((av != bv) as u64, 1),
+        BinaryOp::Lt => ((av < bv) as u64, 1),
+        BinaryOp::Le => ((av <= bv) as u64, 1),
+        BinaryOp::Gt => ((av > bv) as u64, 1),
+        BinaryOp::Ge => ((av >= bv) as u64, 1),
+    }
+}
+
+/// Word-level unary operator on a `(value, width)` pair (shared core of
+/// [`unary`] and the regalloc tier's `UnW`).
+#[inline]
+pub fn word_unary(op: UnaryOp, v: u64, w: u32) -> (u64, u32) {
+    match op {
+        UnaryOp::Not => (!v & mask(w), w),
+        UnaryOp::LogicalNot => ((v == 0) as u64, 1),
+        UnaryOp::Neg => (v.wrapping_neg() & mask(w), w),
+        UnaryOp::Plus => (v, w),
+        UnaryOp::ReduceAnd => ((v == mask(w)) as u64, 1),
+        UnaryOp::ReduceOr => ((v != 0) as u64, 1),
+        UnaryOp::ReduceXor => ((v.count_ones() % 2) as u64, 1),
+    }
+}
+
 /// Applies a binary operator, mirroring [`synergy_interp::apply_binary`]
 /// bit-for-bit; the all-small case runs on machine words.
 pub fn binary(op: BinaryOp, a: &Val, b: &Val) -> Val {
     if let (Val::Small(av, aw), Val::Small(bv, bw)) = (a, b) {
-        let (av, aw, bv, bw) = (*av, *aw, *bv, *bw);
-        let w = aw.max(bw);
-        let m = mask(w);
-        return match op {
-            BinaryOp::Add => Val::Small(av.wrapping_add(bv) & m, w),
-            BinaryOp::Sub => Val::Small(av.wrapping_sub(bv) & m, w),
-            BinaryOp::Mul => Val::Small(av.wrapping_mul(bv) & m, w),
-            BinaryOp::Div => Val::Small(av.checked_div(bv).unwrap_or(m), w),
-            BinaryOp::Rem => Val::Small(av.checked_rem(bv).unwrap_or(av), w),
-            BinaryOp::And => Val::Small(av & bv, w),
-            BinaryOp::Or => Val::Small(av | bv, w),
-            BinaryOp::Xor => Val::Small(av ^ bv, w),
-            BinaryOp::Shl => {
-                let n = bv.min(1 << 20);
-                Val::Small(if n >= 64 { 0 } else { (av << n) & mask(aw) }, aw)
-            }
-            BinaryOp::Shr => {
-                let n = bv.min(1 << 20);
-                Val::Small(if n >= 64 { 0 } else { av >> n }, aw)
-            }
-            BinaryOp::AShr => {
-                let n = bv.min(1 << 20);
-                let sign = (av >> (aw - 1)) & 1 == 1;
-                let mut out = if n >= 64 { 0 } else { av >> n };
-                if sign {
-                    let start = aw.saturating_sub(n as u32);
-                    out |= mask(aw) & !mask(start);
-                }
-                Val::Small(out, aw)
-            }
-            BinaryOp::LogicalAnd => Val::Small((av != 0 && bv != 0) as u64, 1),
-            BinaryOp::LogicalOr => Val::Small((av != 0 || bv != 0) as u64, 1),
-            BinaryOp::Eq => Val::Small((av == bv) as u64, 1),
-            BinaryOp::Ne => Val::Small((av != bv) as u64, 1),
-            BinaryOp::Lt => Val::Small((av < bv) as u64, 1),
-            BinaryOp::Le => Val::Small((av <= bv) as u64, 1),
-            BinaryOp::Gt => Val::Small((av > bv) as u64, 1),
-            BinaryOp::Ge => Val::Small((av >= bv) as u64, 1),
-        };
+        let (v, w) = word_binary(op, *av, *aw, *bv, *bw);
+        return Val::Small(v, w);
     }
     Val::from_bits(&apply_binary(op, &a.to_bits(), &b.to_bits()))
 }
@@ -170,16 +194,8 @@ pub fn binary(op: BinaryOp, a: &Val, b: &Val) -> Val {
 /// Applies a unary operator, mirroring the interpreter's semantics.
 pub fn unary(op: UnaryOp, a: &Val) -> Val {
     if let Val::Small(v, w) = a {
-        let (v, w) = (*v, *w);
-        return match op {
-            UnaryOp::Not => Val::Small(!v & mask(w), w),
-            UnaryOp::LogicalNot => Val::Small((v == 0) as u64, 1),
-            UnaryOp::Neg => Val::Small(v.wrapping_neg() & mask(w), w),
-            UnaryOp::Plus => Val::Small(v, w),
-            UnaryOp::ReduceAnd => Val::Small((v == mask(w)) as u64, 1),
-            UnaryOp::ReduceOr => Val::Small((v != 0) as u64, 1),
-            UnaryOp::ReduceXor => Val::Small((v.count_ones() % 2) as u64, 1),
-        };
+        let (v, w) = word_unary(op, *v, *w);
+        return Val::Small(v, w);
     }
     let b = a.to_bits();
     let out = match op {

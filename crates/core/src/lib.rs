@@ -58,7 +58,7 @@ pub use synergy_amorphos::DomainId;
 pub use synergy_codegen::{CompiledProgram, CompiledSim};
 pub use synergy_fpga::{BitstreamCache, Device, RamStyle, SynthOptions, SynthReport};
 pub use synergy_hv::{AppId, Cluster, DeployOutcome, Hypervisor, NodeId, RoundStats, SchedPolicy};
-pub use synergy_runtime::{EnginePolicy, ExecMode, Runtime, RuntimeEvent};
+pub use synergy_runtime::{CompiledTier, EnginePolicy, ExecMode, Runtime, RuntimeEvent};
 pub use synergy_transform::{transform as transform_design, TransformOptions, Transformed};
 pub use synergy_vlog::{Bits, VlogError};
 pub use synergy_workloads::{Benchmark, Style};
@@ -138,6 +138,13 @@ impl SynergyVm {
     /// with uncompilable constructs) instead of being interpreted.
     pub fn set_engine_policy(&mut self, policy: EnginePolicy) {
         self.cluster.set_engine_policy(policy);
+    }
+
+    /// Selects the compiled-engine execution tier for every node: the
+    /// register-allocated tier (default) or the stack-bytecode tier
+    /// (diagnostics / differential baselines).
+    pub fn set_compiled_tier(&mut self, tier: CompiledTier) {
+        self.cluster.set_compiled_tier(tier);
     }
 
     /// Sets the round-scheduling policy for every node: under

@@ -13,7 +13,7 @@ use crate::sched::SchedPolicy;
 use serde::{Deserialize, Serialize};
 use synergy_amorphos::DomainId;
 use synergy_fpga::{BitstreamCache, Device};
-use synergy_runtime::{EnginePolicy, Runtime};
+use synergy_runtime::{CompiledTier, EnginePolicy, Runtime};
 
 /// Identifies a node (one device + hypervisor) within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -24,6 +24,7 @@ pub struct Cluster {
     nodes: Vec<Hypervisor>,
     cache: BitstreamCache,
     policy: EnginePolicy,
+    tier: Option<CompiledTier>,
     sched: SchedPolicy,
 }
 
@@ -40,6 +41,7 @@ impl Cluster {
             nodes: Vec::new(),
             cache: BitstreamCache::new(),
             policy: EnginePolicy::Interpreter,
+            tier: None,
             sched: SchedPolicy::Sequential,
         }
     }
@@ -48,9 +50,21 @@ impl Cluster {
     pub fn add_node(&mut self, device: Device) -> NodeId {
         let mut hv = Hypervisor::with_cache(device, self.cache.clone());
         hv.set_engine_policy(self.policy);
+        if let Some(tier) = self.tier {
+            hv.set_compiled_tier(tier);
+        }
         hv.set_sched_policy(self.sched);
         self.nodes.push(hv);
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// Selects the compiled-engine tier on every current and future node
+    /// (see [`Hypervisor::set_compiled_tier`]).
+    pub fn set_compiled_tier(&mut self, tier: CompiledTier) {
+        self.tier = Some(tier);
+        for node in &mut self.nodes {
+            node.set_compiled_tier(tier);
+        }
     }
 
     /// Sets the software-engine selection policy on every current and future

@@ -19,7 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use synergy_amorphos::{DomainId, Hull, HullError, MorphletId, Quiescence};
 use synergy_fpga::{BitstreamCache, Device, Fabric, FabricError, SimClock, SynthOptions};
-use synergy_runtime::{EnginePolicy, ExecMode, RunReport, Runtime, RuntimeEvent};
+use synergy_runtime::{CompiledTier, EnginePolicy, ExecMode, RunReport, Runtime, RuntimeEvent};
 use synergy_transform::transform;
 use synergy_vlog::VlogError;
 
@@ -179,6 +179,9 @@ pub struct Hypervisor {
     handshakes: u64,
     round_tick_cap: u64,
     policy: EnginePolicy,
+    /// Compiled-engine tier pushed to every current and future tenant
+    /// runtime (`None` leaves each runtime's own/default tier in place).
+    tier: Option<CompiledTier>,
     sched: SchedPolicy,
     /// Persistent worker pool, spawned lazily on the first parallel round and
     /// rebuilt when the requested worker count changes.
@@ -215,6 +218,7 @@ impl Hypervisor {
             handshakes: 0,
             round_tick_cap: 100_000,
             policy: EnginePolicy::Interpreter,
+            tier: None,
             sched: SchedPolicy::Sequential,
             pool: None,
             drr: DeficitRoundRobin::new(),
@@ -289,6 +293,19 @@ impl Hypervisor {
         }
     }
 
+    /// Selects the compiled-engine tier for every current and future tenant
+    /// (the [`EnginePolicy`] companion knob): programs running on the
+    /// compiled engine re-migrate onto the requested tier immediately;
+    /// others pick it up at their next software upgrade. Best-effort like
+    /// [`Hypervisor::set_engine_policy`] — a program the regalloc
+    /// translation cannot handle stays on the stack tier.
+    pub fn set_compiled_tier(&mut self, tier: CompiledTier) {
+        self.tier = Some(tier);
+        for slot in self.apps.values_mut() {
+            let _ = slot.runtime_mut().set_compiled_tier(tier);
+        }
+    }
+
     /// Caps how many virtual ticks one application may execute per scheduling
     /// round. The cap bounds host-side simulation cost for very fast designs; an
     /// application that hits it simply idles for the rest of the round.
@@ -328,6 +345,9 @@ impl Hypervisor {
     pub fn connect(&mut self, mut runtime: Runtime, domain: DomainId, io_bound: bool) -> AppId {
         // Best-effort here: connect is infallible by design (the interpreter
         // always works); undeploy surfaces internal lowering failures.
+        if let Some(tier) = self.tier {
+            let _ = runtime.set_compiled_tier(tier);
+        }
         let _ = apply_software_policy(self.policy, &mut runtime);
         let id = AppId(self.next_app);
         self.next_app += 1;
@@ -1032,6 +1052,35 @@ mod tests {
         assert_eq!(
             hv.app(a).unwrap().get_bits("count").unwrap().to_u64(),
             before
+        );
+    }
+
+    #[test]
+    fn compiled_tier_knob_applies_to_current_and_future_tenants() {
+        use synergy_runtime::CompiledTier;
+        let mut hv = Hypervisor::new(Device::f1());
+        hv.set_engine_policy(EnginePolicy::Auto);
+        let a = hv.connect(counter_runtime("a"), DomainId(1), false);
+        assert_eq!(
+            hv.app(a).unwrap().compiled_tier(),
+            Some(CompiledTier::RegAlloc)
+        );
+        // Knob flips the already-connected tenant...
+        hv.set_compiled_tier(CompiledTier::Stack);
+        assert_eq!(
+            hv.app(a).unwrap().compiled_tier(),
+            Some(CompiledTier::Stack)
+        );
+        // ...and future connects pick it up too.
+        let b = hv.connect(counter_runtime("b"), DomainId(1), false);
+        assert_eq!(
+            hv.app(b).unwrap().compiled_tier(),
+            Some(CompiledTier::Stack)
+        );
+        hv.set_compiled_tier(CompiledTier::RegAlloc);
+        assert_eq!(
+            hv.app(b).unwrap().compiled_tier(),
+            Some(CompiledTier::RegAlloc)
         );
     }
 

@@ -60,7 +60,10 @@ pub struct BufferEnv {
     /// Captured `$display`/`$write` output.
     pub output: Vec<String>,
     files: HashMap<String, Vec<u64>>,
-    streams: HashMap<u32, FileStream>,
+    /// Streams indexed by `fd - 1` (descriptors are handed out
+    /// sequentially); `None` marks a closed descriptor. Dense storage keeps
+    /// the per-`$fread` cost to an array index on the simulation hot path.
+    streams: Vec<Option<FileStream>>,
     next_fd: u32,
     rng_state: u64,
     /// Total number of values served through `$fread`.
@@ -107,19 +110,19 @@ impl SystemEnv for BufferEnv {
         let data = self.files.get(path).cloned().unwrap_or_default();
         let fd = self.next_fd;
         self.next_fd += 1;
-        self.streams.insert(
-            fd,
-            FileStream {
-                data,
-                pos: 0,
-                eof: false,
-            },
-        );
+        self.streams.push(Some(FileStream {
+            data,
+            pos: 0,
+            eof: false,
+        }));
         fd
     }
 
     fn fread(&mut self, fd: u32, width: usize) -> Option<Bits> {
-        let stream = self.streams.get_mut(&fd)?;
+        let stream = self
+            .streams
+            .get_mut((fd as usize).wrapping_sub(1))?
+            .as_mut()?;
         if stream.pos >= stream.data.len() {
             stream.eof = true;
             return None;
@@ -131,11 +134,16 @@ impl SystemEnv for BufferEnv {
     }
 
     fn feof(&mut self, fd: u32) -> bool {
-        self.streams.get(&fd).map(|s| s.eof).unwrap_or(true)
+        match self.streams.get((fd as usize).wrapping_sub(1)) {
+            Some(Some(s)) => s.eof,
+            _ => true,
+        }
     }
 
     fn fclose(&mut self, fd: u32) {
-        self.streams.remove(&fd);
+        if let Some(slot) = self.streams.get_mut((fd as usize).wrapping_sub(1)) {
+            *slot = None;
+        }
     }
 
     fn random(&mut self) -> u32 {

@@ -24,11 +24,17 @@ impl Value {
     }
 
     /// Reads the scalar value; memory values read as their element 0 (used only by
-    /// diagnostics — memories are normally read through an index).
+    /// diagnostics — memories are normally read through an index). A
+    /// zero-depth memory reads as a 1-bit zero instead of panicking, so a
+    /// malformed tenant can't take down a diagnostic path in the hypervisor.
     pub fn as_scalar(&self) -> &Bits {
+        static EMPTY: std::sync::OnceLock<Bits> = std::sync::OnceLock::new();
         match self {
             Value::Scalar(b) => b,
-            Value::Memory(v) => &v[0],
+            Value::Memory(v) => match v.first() {
+                Some(b) => b,
+                None => EMPTY.get_or_init(|| Bits::zero(1)),
+            },
         }
     }
 
@@ -67,5 +73,17 @@ mod tests {
     fn to_words_flattens_memory() {
         let v = Value::memory(8, 4);
         assert_eq!(v.to_words().len(), 4);
+    }
+
+    #[test]
+    fn as_scalar_on_zero_depth_memory_reads_safe_zero() {
+        // Regression pin: `&v[0]` used to panic on an empty memory; the
+        // diagnostic read must return a defined value instead.
+        let v = Value::Memory(Vec::new());
+        assert_eq!(*v.as_scalar(), Bits::zero(1));
+        assert_eq!(v.state_bits(), 0);
+        // Non-empty memories still read element 0.
+        let v = Value::Memory(vec![Bits::from_u64(8, 42)]);
+        assert_eq!(v.as_scalar().to_u64(), 42);
     }
 }

@@ -9,7 +9,7 @@
 //! forth mid-execution.
 
 use serde::{Deserialize, Serialize};
-use synergy_codegen::CompiledSim;
+use synergy_codegen::{CompiledSim, Tier};
 use synergy_interp::{Interpreter, StateSnapshot, SystemEnv, TaskEffect, Value};
 use synergy_transform::{Transformed, TASK_NONE};
 use synergy_vlog::ast::{Expr, LValue, SystemTask, TaskKind};
@@ -97,6 +97,12 @@ pub trait Engine: Send {
     /// Drains control-flow effects ($save/$restart/$yield/$finish) raised since the
     /// last call.
     fn take_effects(&mut self) -> Vec<TaskEffect>;
+
+    /// The compiled-engine execution tier, if this engine is the compiled
+    /// engine.
+    fn compiled_tier(&self) -> Option<Tier> {
+        None
+    }
 }
 
 // ------------------------------------------------------------------ software
@@ -205,9 +211,30 @@ impl CompiledEngine {
         program: synergy_codegen::CompiledProgram,
         clock: &str,
     ) -> VlogResult<Self> {
-        let sim = CompiledSim::new(program);
+        Self::from_program_with_tier(program, clock, Tier::from_env())
+    }
+
+    /// Creates an engine from an already-lowered program on the requested
+    /// execution tier ([`Tier::RegAlloc`] falls back to [`Tier::Stack`] for
+    /// programs its translation cannot handle, exactly like the stack tier
+    /// falls back to the interpreter).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the clock input does not exist.
+    pub fn from_program_with_tier(
+        program: synergy_codegen::CompiledProgram,
+        clock: &str,
+        tier: Tier,
+    ) -> VlogResult<Self> {
+        let sim = CompiledSim::with_tier_lenient(program, tier);
         let clock = sim.net_id(clock)?;
         Ok(CompiledEngine { sim, clock })
+    }
+
+    /// The execution tier the simulator actually runs on.
+    pub fn tier(&self) -> Tier {
+        self.sim.tier()
     }
 
     /// The underlying compiled simulator.
@@ -219,6 +246,10 @@ impl CompiledEngine {
 impl Engine for CompiledEngine {
     fn kind(&self) -> EngineKind {
         EngineKind::Compiled
+    }
+
+    fn compiled_tier(&self) -> Option<Tier> {
+        Some(self.sim.tier())
     }
 
     fn get(&self, var: &str) -> VlogResult<Value> {

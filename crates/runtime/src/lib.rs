@@ -15,4 +15,6 @@ mod engine;
 mod runtime;
 
 pub use engine::{CompiledEngine, Engine, EngineKind, HardwareEngine, SoftwareEngine, TickReport};
-pub use runtime::{EnginePolicy, ExecMode, Profiler, RunReport, Runtime, RuntimeEvent, Sample};
+pub use runtime::{
+    CompiledTier, EnginePolicy, ExecMode, Profiler, RunReport, Runtime, RuntimeEvent, Sample,
+};

@@ -12,6 +12,7 @@ use crate::engine::{
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+pub use synergy_codegen::Tier as CompiledTier;
 use synergy_fpga::{BitstreamCache, Device, SimClock, SynthOptions};
 use synergy_interp::{BufferEnv, StateSnapshot, TaskEffect, Value};
 use synergy_transform::{transform, TransformOptions, Transformed};
@@ -107,6 +108,12 @@ pub enum ExecMode {
 
 /// How the runtime chooses among its software-side engines (§2.1's ladder of
 /// progressively faster engines: interpret → compiled → hardware).
+///
+/// The compiled engine is itself two-tiered; the policy's companion knob
+/// [`CompiledTier`] (see [`Runtime::set_compiled_tier`]) selects between the
+/// stack-bytecode tier and the default register-allocated tier, with the
+/// `SYNERGY_COMPILED_TIER=stack` environment variable as a global escape
+/// hatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum EnginePolicy {
     /// Always interpret (the Cascade baseline and the semantic reference).
@@ -142,6 +149,9 @@ pub struct Runtime {
     /// hardware path), so repeated engine migrations don't re-lower.
     compiled: Option<synergy_codegen::CompiledProgram>,
     policy: EnginePolicy,
+    /// Which compiled-engine tier to instantiate (default from the
+    /// environment; see [`CompiledTier::from_env`]).
+    tier: CompiledTier,
     finished: Option<u32>,
 }
 
@@ -181,6 +191,7 @@ impl Runtime {
     ) -> VlogResult<Runtime> {
         let design = synergy_vlog::compile(source, top)?;
         let software = Device::software();
+        let tier = CompiledTier::from_env();
         let mut compiled = None;
         let (engine, device): (Box<dyn Engine>, Device) = match policy {
             EnginePolicy::Interpreter => (
@@ -192,7 +203,8 @@ impl Runtime {
                     Ok(prog) => {
                         compiled = Some(prog.clone());
                         (
-                            Box::new(CompiledEngine::from_program(prog, clock)?) as Box<dyn Engine>,
+                            Box::new(CompiledEngine::from_program_with_tier(prog, clock, tier)?)
+                                as Box<dyn Engine>,
                             Device::compiled(),
                         )
                     }
@@ -226,6 +238,7 @@ impl Runtime {
             transform_options: TransformOptions::default(),
             compiled,
             policy,
+            tier,
             finished: None,
         })
     }
@@ -233,6 +246,43 @@ impl Runtime {
     /// The software-engine selection policy this runtime was created with.
     pub fn engine_policy(&self) -> EnginePolicy {
         self.policy
+    }
+
+    /// The compiled-engine tier new compiled engines will use.
+    pub fn compiled_tier_policy(&self) -> CompiledTier {
+        self.tier
+    }
+
+    /// The tier the *currently running* compiled engine executes on
+    /// (`None` when not on the compiled engine).
+    pub fn compiled_tier(&self) -> Option<CompiledTier> {
+        match self.mode() {
+            ExecMode::Compiled => Some(self.engine_tier()),
+            _ => None,
+        }
+    }
+
+    fn engine_tier(&self) -> CompiledTier {
+        self.engine
+            .compiled_tier()
+            .unwrap_or(CompiledTier::RegAlloc)
+    }
+
+    /// Selects the compiled-engine tier. Takes effect immediately when the
+    /// program is running on the compiled engine (state migrates across via
+    /// a snapshot, like any engine hop) and applies to future migrations
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction errors from the re-migration; the
+    /// current engine is left untouched on failure.
+    pub fn set_compiled_tier(&mut self, tier: CompiledTier) -> VlogResult<()> {
+        self.tier = tier;
+        if self.mode() == ExecMode::Compiled && self.engine_tier() != tier {
+            self.migrate_to_compiled()?;
+        }
+        Ok(())
     }
 
     /// The application name this runtime was created with.
@@ -523,7 +573,7 @@ impl Runtime {
                 p
             }
         };
-        let mut compiled = CompiledEngine::from_program(program, &self.clock)?;
+        let mut compiled = CompiledEngine::from_program_with_tier(program, &self.clock, self.tier)?;
         let snapshot = self.engine.save_state();
         let latency = self.state_transfer_ns(&snapshot);
         compiled.restore_state(&snapshot);
@@ -645,6 +695,38 @@ mod tests {
         // The compiled engine models a faster software clock than the
         // interpreter.
         assert!(rt.clock_hz() > Device::software().max_clock_hz);
+    }
+
+    #[test]
+    fn compiled_tier_knob_switches_tiers_with_state_intact() {
+        let mut rt =
+            Runtime::with_policy("counter", COUNTER, "Counter", "clock", EnginePolicy::Auto)
+                .unwrap();
+        // The regalloc tier is the default for the compiled engine.
+        assert_eq!(rt.compiled_tier(), Some(CompiledTier::RegAlloc));
+        rt.run_ticks(9).unwrap();
+
+        // Dropping to the stack tier migrates state across, like any other
+        // engine hop, and execution continues bit-identically.
+        rt.set_compiled_tier(CompiledTier::Stack).unwrap();
+        assert_eq!(rt.mode(), ExecMode::Compiled);
+        assert_eq!(rt.compiled_tier(), Some(CompiledTier::Stack));
+        rt.run_ticks(4).unwrap();
+        assert_eq!(rt.get_bits("count").unwrap().to_u64(), 13);
+
+        // And back up.
+        rt.set_compiled_tier(CompiledTier::RegAlloc).unwrap();
+        assert_eq!(rt.compiled_tier(), Some(CompiledTier::RegAlloc));
+        rt.run_ticks(4).unwrap();
+        assert_eq!(rt.get_bits("count").unwrap().to_u64(), 17);
+
+        // On a non-compiled engine the knob only applies to future hops.
+        let mut sw = Runtime::new("sw", COUNTER, "Counter", "clock").unwrap();
+        sw.set_compiled_tier(CompiledTier::Stack).unwrap();
+        assert_eq!(sw.compiled_tier(), None);
+        assert_eq!(sw.compiled_tier_policy(), CompiledTier::Stack);
+        sw.migrate_to_compiled().unwrap();
+        assert_eq!(sw.compiled_tier(), Some(CompiledTier::Stack));
     }
 
     #[test]

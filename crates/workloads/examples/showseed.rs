@@ -1,5 +1,5 @@
-//! Developer utility: sweep fuzz seeds differentially (interpreter vs
-//! compiled engine) or print one seed's generated source.
+//! Developer utility: sweep fuzz seeds differentially (interpreter vs both
+//! compiled-engine tiers) or print one seed's generated source.
 //!
 //! ```text
 //! cargo run --release -p synergy-workloads --example showseed -- 7           # print seed 7
@@ -16,40 +16,55 @@ fn run_seed(seed: u64, ticks: usize) -> Result<(), String> {
         synergy_vlog::compile(&d.source, &d.top).map_err(|e| format!("elaborate: {}", e))?;
     let prog = synergy_codegen::compile(&design).map_err(|e| format!("lower: {}", e))?;
     let mut interp = Interpreter::new(design);
-    let mut sim = synergy_codegen::CompiledSim::new(prog);
+    let mut sim =
+        synergy_codegen::CompiledSim::with_tier(prog.clone(), synergy_codegen::Tier::RegAlloc)
+            .map_err(|e| format!("regalloc translation: {}", e))?;
+    let mut stack =
+        synergy_codegen::CompiledSim::with_tier(prog, synergy_codegen::Tier::Stack).unwrap();
     let mut ienv = BufferEnv::new();
     let mut cenv = BufferEnv::new();
+    let mut senv = BufferEnv::new();
     if let Some(path) = &d.input_path {
         let data = fuzz_input_data(seed, ticks / 2);
         ienv.add_file(path.clone(), data.clone());
+        senv.add_file(path.clone(), data.clone());
         cenv.add_file(path.clone(), data);
     }
     for t in 0..ticks {
-        // Error parity, same as tests/fuzz_differential.rs: a design both
+        // Error parity, same as tests/fuzz_differential.rs: a design all
         // engines reject with the same message is agreement, not a failure.
         let ir = interp.tick(&d.clock, &mut ienv);
         let cr = sim.tick(&d.clock, &mut cenv);
-        match (&ir, &cr) {
-            (Ok(()), Ok(())) => {}
-            (Err(a), Err(b)) if a.to_string() == b.to_string() => break,
+        let sr = stack.tick(&d.clock, &mut senv);
+        match (&ir, &cr, &sr) {
+            (Ok(()), Ok(()), Ok(())) => {}
+            (Err(a), Err(b), Err(c))
+                if a.to_string() == b.to_string() && a.to_string() == c.to_string() =>
+            {
+                break
+            }
             _ => {
                 return Err(format!(
-                    "engines disagree at tick {} (interp: {:?}, compiled: {:?})",
-                    t, ir, cr
+                    "engines disagree at tick {} (interp: {:?}, regalloc: {:?}, stack: {:?})",
+                    t, ir, cr, sr
                 ))
             }
         }
-        if interp.save_state() != sim.save_state() {
-            return Err(format!("snapshots diverge at tick {}", t));
+        let isnap = interp.save_state();
+        if isnap != sim.save_state() {
+            return Err(format!("regalloc snapshots diverge at tick {}", t));
         }
-        if interp.finished() != sim.finished() {
+        if isnap != stack.save_state() {
+            return Err(format!("stack snapshots diverge at tick {}", t));
+        }
+        if interp.finished() != sim.finished() || interp.finished() != stack.finished() {
             return Err(format!("finish diverges at tick {}", t));
         }
         if interp.finished().is_some() {
             break;
         }
     }
-    if ienv.output_text() != cenv.output_text() {
+    if ienv.output_text() != cenv.output_text() || ienv.output_text() != senv.output_text() {
         return Err("output diverges".into());
     }
     Ok(())

@@ -5,9 +5,9 @@
 //! the guarantee that lets the runtime's engine-selection policy move
 //! programs freely along the interpret → compiled → hardware ladder.
 
-use synergy::codegen::{compile, CompiledSim};
+use synergy::codegen::{compile, CompiledSim, Tier};
 use synergy::interp::{BufferEnv, Interpreter};
-use synergy::runtime::{EnginePolicy, ExecMode, Runtime};
+use synergy::runtime::{CompiledTier, EnginePolicy, ExecMode, Runtime};
 use synergy::workloads;
 
 fn ticks_for(name: &str) -> usize {
@@ -32,7 +32,15 @@ fn run_differential(quiescent: bool) {
                 bench.name, e
             )
         });
-        let mut sim = CompiledSim::new(prog);
+        let mut sim = CompiledSim::new(prog.clone());
+        assert_eq!(
+            sim.tier(),
+            Tier::RegAlloc,
+            "{}: default compiled engine must run the regalloc tier",
+            bench.name
+        );
+        // The stack tier runs the same lockstep: interp == stack == regalloc.
+        let mut stack = CompiledSim::with_tier(prog, Tier::Stack).unwrap();
 
         let mut ienv = BufferEnv::new();
         let mut cenv = BufferEnv::new();
@@ -42,22 +50,45 @@ fn run_differential(quiescent: bool) {
             cenv.add_file(path.clone(), data);
         }
 
+        let mut senv = BufferEnv::new();
+        if let Some(path) = &bench.input_path {
+            let data = workloads::input_data(&bench.name, 4 * ticks);
+            senv.add_file(path.clone(), data);
+        }
         for t in 0..ticks {
             interp.tick(&bench.clock, &mut ienv).unwrap();
             sim.tick(&bench.clock, &mut cenv).unwrap();
+            stack.tick(&bench.clock, &mut senv).unwrap();
             // Snapshot comparison every tick would be quadratic in state
             // size; sample the early ticks densely and then every 32nd.
             if t < 8 || t % 32 == 0 {
+                let isnap = interp.save_state();
                 assert_eq!(
-                    interp.save_state(),
+                    isnap,
                     sim.save_state(),
                     "{}: snapshots diverge at tick {} (quiescent={})",
                     bench.name,
                     t,
                     quiescent
                 );
+                assert_eq!(
+                    isnap,
+                    stack.save_state(),
+                    "{}: stack-tier snapshots diverge at tick {} (quiescent={})",
+                    bench.name,
+                    t,
+                    quiescent
+                );
             }
         }
+        assert_eq!(
+            stack.save_state(),
+            sim.save_state(),
+            "{}: tiers diverge (quiescent={})",
+            bench.name,
+            quiescent
+        );
+        assert_eq!(ienv.output_text(), senv.output_text());
         assert_eq!(
             interp.save_state(),
             sim.save_state(),
@@ -136,6 +167,13 @@ fn workloads_use_the_compiled_engine_with_identical_event_streams() {
                 fast.mode(),
                 ExecMode::Compiled,
                 "{} (quiescent={}) fell back to the interpreter",
+                bench.name,
+                quiescent
+            );
+            assert_eq!(
+                fast.compiled_tier(),
+                Some(CompiledTier::RegAlloc),
+                "{} (quiescent={}) fell back to the stack tier",
                 bench.name,
                 quiescent
             );

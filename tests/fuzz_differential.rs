@@ -1,13 +1,15 @@
 //! Cross-engine differential fuzzing: random designs from the
 //! `synergy-workloads` fuzz generator run in lockstep on the reference
-//! interpreter and the compiled engine, and must stay bit-identical —
-//! snapshots at every tick, `$display` output, raised effects, and exit
-//! codes. Any divergence is an engine bug by definition (the interpreter is
-//! the semantic reference), and its seed gets pinned in the regression
-//! corpus below.
+//! interpreter and *both* compiled-engine tiers (stack bytecode and the
+//! register-allocated word tier), and must stay bit-identical — snapshots at
+//! every tick, `$display` output, raised effects, and exit codes. Any
+//! divergence is an engine bug by definition (the interpreter is the
+//! semantic reference), and its seed gets pinned in the regression corpus
+//! below. Constructing the regalloc tier strictly (no silent stack
+//! fallback) also proves the translation is total over the fuzz envelope.
 
 use proptest::prelude::*;
-use synergy::codegen::{compile, CompiledSim};
+use synergy::codegen::{compile, CompiledSim, Tier};
 use synergy::interp::{BufferEnv, Interpreter};
 use synergy::workloads::{fuzz_input_data, generate_fuzz_design};
 
@@ -27,12 +29,20 @@ fn assert_engines_agree(seed: u64) {
         )
     });
     let mut interp = Interpreter::new(design);
-    let mut sim = CompiledSim::new(prog);
+    let mut sim = CompiledSim::with_tier(prog.clone(), Tier::RegAlloc).unwrap_or_else(|e| {
+        panic!(
+            "seed {}: regalloc tier must translate every fuzz design: {}\n{}",
+            seed, e, d.source
+        )
+    });
+    let mut stack = CompiledSim::with_tier(prog, Tier::Stack).unwrap();
     let mut ienv = BufferEnv::new();
     let mut cenv = BufferEnv::new();
+    let mut senv = BufferEnv::new();
     if let Some(path) = &d.input_path {
         let data = fuzz_input_data(seed, TICKS / 2);
         ienv.add_file(path.clone(), data.clone());
+        senv.add_file(path.clone(), data.clone());
         cenv.add_file(path.clone(), data);
     }
 
@@ -42,6 +52,22 @@ fn assert_engines_agree(seed: u64) {
         // of the differential contract.
         let ir = interp.tick(&d.clock, &mut ienv);
         let cr = sim.tick(&d.clock, &mut cenv);
+        let sr = stack.tick(&d.clock, &mut senv);
+        match (&cr, &sr) {
+            (Ok(()), Ok(())) => {}
+            (Err(a), Err(b)) => assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "seed {}: tiers error differently at tick {}\n{}",
+                seed,
+                t,
+                d.source
+            ),
+            _ => panic!(
+                "seed {}: only one tier errored at tick {} (regalloc: {:?}, stack: {:?})\n{}",
+                seed, t, cr, sr, d.source
+            ),
+        }
         match (&ir, &cr) {
             (Ok(()), Ok(())) => {}
             (Err(a), Err(b)) => {
@@ -62,10 +88,19 @@ fn assert_engines_agree(seed: u64) {
                 seed, t, ir, cr, d.source
             ),
         }
+        let isnap = interp.save_state();
         assert_eq!(
-            interp.save_state(),
+            isnap,
             sim.save_state(),
             "seed {}: snapshots diverge at tick {}\n{}",
+            seed,
+            t,
+            d.source
+        );
+        assert_eq!(
+            isnap,
+            stack.save_state(),
+            "seed {}: stack-tier snapshots diverge at tick {}\n{}",
             seed,
             t,
             d.source
@@ -86,6 +121,13 @@ fn assert_engines_agree(seed: u64) {
         ienv.output_text(),
         cenv.output_text(),
         "seed {}: output diverges\n{}",
+        seed,
+        d.source
+    );
+    assert_eq!(
+        ienv.output_text(),
+        senv.output_text(),
+        "seed {}: stack-tier output diverges\n{}",
         seed,
         d.source
     );

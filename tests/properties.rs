@@ -5,7 +5,7 @@
 //! execution.
 
 use proptest::prelude::*;
-use synergy::codegen::{compile as codegen_compile, CompiledSim};
+use synergy::codegen::{compile as codegen_compile, CompiledSim, Tier};
 use synergy::interp::{BufferEnv, Interpreter};
 use synergy::runtime::{EnginePolicy, ExecMode};
 use synergy::vlog::{parse, parser, printer, Bits};
@@ -226,6 +226,98 @@ proptest! {
             sw2.get_bits("twisted").unwrap(),
             reference.get_bits("twisted").unwrap()
         );
+    }
+
+    /// A snapshot migrates through the full software ladder — interpreter →
+    /// stack tier → regalloc tier → interpreter — on fuzzed designs with
+    /// bit-identical onward execution at every hop (the property the
+    /// compiled engine's tier knob relies on: tiers are interchangeable at
+    /// any snapshot boundary).
+    #[test]
+    fn snapshots_migrate_across_tiers_for_random_designs(
+        seed in any::<u64>(),
+        warmup in 1usize..8,
+        rest in 1usize..8,
+    ) {
+        let d = generate_fuzz_design(seed);
+        if d.input_path.is_some() {
+            // File-stream designs tie state to the SystemEnv's read cursor;
+            // the workload-level migration test covers those.
+            return;
+        }
+        let design = synergy::vlog::compile(&d.source, &d.top).unwrap();
+        let prog = codegen_compile(&design).unwrap();
+
+        // Reference lineage stays on the interpreter throughout.
+        let mut renv = BufferEnv::new();
+        let mut menv = BufferEnv::new();
+        let mut reference = Interpreter::new(design.clone());
+        let mut warm = Interpreter::new(design.clone());
+        for _ in 0..warmup {
+            reference.tick(&d.clock, &mut renv).unwrap();
+            warm.tick(&d.clock, &mut menv).unwrap();
+        }
+
+        // Hop 1: interpreter -> stack tier. (The reference hops onto a
+        // fresh interpreter at each boundary too, since restores re-run
+        // initial blocks.)
+        let mut r2 = Interpreter::new(design.clone());
+        r2.restore_state(&reference.save_state());
+        let mut stack = CompiledSim::with_tier(prog.clone(), Tier::Stack).unwrap();
+        stack.restore_state(&warm.save_state());
+        for _ in 0..rest {
+            r2.tick(&d.clock, &mut renv).unwrap();
+            stack.tick(&d.clock, &mut menv).unwrap();
+        }
+        prop_assert_eq!(r2.save_state(), stack.save_state());
+
+        // Hop 2: stack tier -> regalloc tier.
+        let mut r3 = Interpreter::new(design.clone());
+        r3.restore_state(&r2.save_state());
+        let mut word = CompiledSim::with_tier(prog, Tier::RegAlloc).unwrap();
+        word.restore_state(&stack.save_state());
+        for _ in 0..rest {
+            r3.tick(&d.clock, &mut renv).unwrap();
+            word.tick(&d.clock, &mut menv).unwrap();
+        }
+        prop_assert_eq!(r3.save_state(), word.save_state());
+
+        // Hop 3: regalloc tier -> interpreter.
+        let mut r4 = Interpreter::new(design.clone());
+        r4.restore_state(&r3.save_state());
+        let mut back = Interpreter::new(design);
+        back.restore_state(&word.save_state());
+        for _ in 0..rest {
+            r4.tick(&d.clock, &mut renv).unwrap();
+            back.tick(&d.clock, &mut menv).unwrap();
+        }
+        prop_assert_eq!(r4.save_state(), back.save_state());
+        prop_assert_eq!(renv.output_text(), menv.output_text());
+    }
+
+    /// A regalloc-tier snapshot round-trips through save/restore on a fresh
+    /// regalloc-tier simulator of the same program (word arenas and `Val`
+    /// fallbacks reconstruct the exact architectural state).
+    #[test]
+    fn regalloc_snapshots_round_trip_for_random_designs(
+        seed in any::<u64>(),
+        ticks in 1usize..12,
+    ) {
+        let d = generate_fuzz_design(seed);
+        if d.input_path.is_some() {
+            return;
+        }
+        let design = synergy::vlog::compile(&d.source, &d.top).unwrap();
+        let prog = codegen_compile(&design).unwrap();
+        let mut env = BufferEnv::new();
+        let mut sim = CompiledSim::with_tier(prog.clone(), Tier::RegAlloc).unwrap();
+        for _ in 0..ticks {
+            sim.tick(&d.clock, &mut env).unwrap();
+        }
+        let snapshot = sim.save_state();
+        let mut restored = CompiledSim::with_tier(prog, Tier::RegAlloc).unwrap();
+        restored.restore_state(&snapshot);
+        prop_assert_eq!(restored.save_state(), snapshot);
     }
 
     /// State capture and restore is lossless for arbitrary register contents.
