@@ -685,6 +685,40 @@ impl State {
         }
         let mut noop = NoopEnv;
         let _ = self.propagate(prog, &mut noop);
+        self.prime_guards(prog);
+    }
+
+    /// Re-seeds edge detection from the current (just-restored) values so the
+    /// next evaluate sees no edges — the same restore semantics as the
+    /// interpreter's `prime_guards` and the word tier's.
+    fn prime_guards(&mut self, prog: &CompiledProgram) {
+        for idx in 0..prog.always.len() {
+            let ap = &prog.always[idx];
+            if ap.guards.is_empty() {
+                let current: Vec<Val> = ap
+                    .star
+                    .iter()
+                    .map(|s| match s {
+                        SlotRef::Net(i) => self.nets[*i as usize].clone(),
+                        SlotRef::Mem(i) => self.mems[*i as usize].elems[0].clone(),
+                    })
+                    .collect();
+                self.guard_prev[idx] = current;
+                continue;
+            }
+            for eidx in 0..prog.always[idx].guards.len() {
+                let code = &prog.always[idx].guards[eidx].1;
+                let mut noop = NoopEnv;
+                let current = match exec(prog, self, code, &mut noop) {
+                    Ok(()) => self.stack.pop().unwrap_or_else(|| Val::zero(1)),
+                    Err(_) => {
+                        self.stack.clear();
+                        Val::zero(1)
+                    }
+                };
+                self.guard_prev[idx][eidx] = current;
+            }
+        }
     }
 }
 
@@ -878,6 +912,25 @@ impl CompiledSim {
         match &mut self.backend {
             Backend::Stack(st) => st.run_initials(&self.prog, env),
             Backend::Word(wm) => wm.run_initials(&self.prog, env),
+        }
+    }
+
+    /// Whether `initial` blocks have already executed.
+    pub fn initials_run(&self) -> bool {
+        match &self.backend {
+            Backend::Stack(st) => st.initials_run,
+            Backend::Word(wm) => wm.initials_run(),
+        }
+    }
+
+    /// Marks `initial` blocks as executed *without* running them. Used when
+    /// restoring captured state into a fresh simulator: the checkpointed
+    /// program already ran its initials (and their environment side effects,
+    /// such as `$fopen`), so replaying them would corrupt the restored run.
+    pub fn mark_initials_run(&mut self) {
+        match &mut self.backend {
+            Backend::Stack(st) => st.initials_run = true,
+            Backend::Word(wm) => wm.mark_initials_run(),
         }
     }
 

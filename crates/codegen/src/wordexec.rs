@@ -646,6 +646,17 @@ impl WordMachine {
         Ok(())
     }
 
+    /// Whether `initial` blocks have already executed.
+    pub(crate) fn initials_run(&self) -> bool {
+        self.st.initials_run
+    }
+
+    /// Marks `initial` blocks as executed without running them (state
+    /// restore; see `CompiledSim::mark_initials_run`).
+    pub(crate) fn mark_initials_run(&mut self) {
+        self.st.initials_run = true;
+    }
+
     /// Re-evaluates dirty combinational cones, draining the level-bucketed
     /// worklist in ascending level order.
     fn propagate(&mut self, prog: &CompiledProgram, env: &mut dyn SystemEnv) -> VlogResult<()> {
@@ -963,6 +974,62 @@ impl WordMachine {
             mark_comb(&self.wp, &mut self.st, pos as u32);
         }
         let _ = self.propagate(prog, &mut NoopEnv);
+        self.prime_guards(prog);
+    }
+
+    /// Re-seeds edge detection from the current (just-restored) values so the
+    /// next evaluate sees no edges — the same restore semantics as the
+    /// interpreter's and the stack tier's `prime_guards`.
+    fn prime_guards(&mut self, prog: &CompiledProgram) {
+        for idx in 0..self.wp.always.len() {
+            let ap = &self.wp.always[idx];
+            if ap.guards.is_empty() {
+                let current: Vec<PrevVal> = ap
+                    .star
+                    .iter()
+                    .map(|s| match s {
+                        SlotRef::Net(i) => {
+                            let w = prog.nets[*i as usize].width;
+                            if w <= 64 {
+                                PrevVal::W(self.st.net_w[*i as usize], w)
+                            } else {
+                                PrevVal::B(self.st.net_b[*i as usize].clone())
+                            }
+                        }
+                        SlotRef::Mem(i) => {
+                            let m = &self.st.mems[*i as usize];
+                            if m.small {
+                                PrevVal::W(m.w[0], m.width)
+                            } else {
+                                PrevVal::B(m.b[0].clone())
+                            }
+                        }
+                    })
+                    .collect();
+                self.st.guard_prev[idx] = current;
+                continue;
+            }
+            for eidx in 0..self.wp.always[idx].guards.len() {
+                let current = match &self.wp.always[idx].guards[eidx].1 {
+                    WGuard::NetW { net, w } => PrevVal::W(self.st.net_w[*net as usize], *w),
+                    WGuard::Prog(p) => {
+                        match wexec(prog, &self.wp, &mut self.st, &p.ops, &mut NoopEnv) {
+                            Ok(()) => match p.result {
+                                Some((Class::Word(w), r)) => {
+                                    PrevVal::W(self.st.words[r as usize], w)
+                                }
+                                Some((Class::Big, r)) => {
+                                    PrevVal::B(self.st.bigs[r as usize].clone())
+                                }
+                                None => PrevVal::W(0, 1),
+                            },
+                            Err(_) => PrevVal::W(0, 1),
+                        }
+                    }
+                };
+                self.st.guard_prev[idx][eidx] = current;
+            }
+        }
     }
 }
 

@@ -50,6 +50,7 @@ pub use synergy_fpga as fpga;
 pub use synergy_hv as hv;
 pub use synergy_interp as interp;
 pub use synergy_runtime as runtime;
+pub use synergy_snapshot as snapshot;
 pub use synergy_transform as transform;
 pub use synergy_vlog as vlog;
 pub use synergy_workloads as workloads;
@@ -58,7 +59,10 @@ pub use synergy_amorphos::DomainId;
 pub use synergy_codegen::{CompiledProgram, CompiledSim};
 pub use synergy_fpga::{BitstreamCache, Device, RamStyle, SynthOptions, SynthReport};
 pub use synergy_hv::{AppId, Cluster, DeployOutcome, Hypervisor, NodeId, RoundStats, SchedPolicy};
-pub use synergy_runtime::{CompiledTier, EnginePolicy, ExecMode, Runtime, RuntimeEvent};
+pub use synergy_runtime::{
+    CheckpointError, CompiledTier, EnginePolicy, ExecMode, Runtime, RuntimeEvent,
+};
+pub use synergy_snapshot::SnapshotError;
 pub use synergy_transform::{transform as transform_design, TransformOptions, Transformed};
 pub use synergy_vlog::{Bits, VlogError};
 pub use synergy_workloads::{Benchmark, Style};
@@ -249,6 +253,11 @@ impl SynergyVm {
 
     /// Migrates a running application between nodes, preserving its state.
     ///
+    /// Goes through the durable checkpoint wire format
+    /// ([`Cluster::live_migrate`]): the tenant is serialized to bytes on the
+    /// source node and rebuilt from them on the target, exactly as a
+    /// cross-host migration or crash recovery would.
+    ///
     /// # Errors
     ///
     /// Propagates hypervisor errors from either node.
@@ -260,7 +269,7 @@ impl SynergyVm {
     ) -> Result<(AppId, DeployOutcome), SynergyError> {
         let domain = DomainId(self.next_domain);
         self.next_domain += 1;
-        Ok(self.cluster.migrate(from, app, to, domain, false)?)
+        Ok(self.cluster.live_migrate(from, app, to, domain, false)?)
     }
 
     /// Reads an application's work-unit counter (the benchmark's metric variable).

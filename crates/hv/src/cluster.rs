@@ -118,10 +118,16 @@ impl Cluster {
         &mut self.nodes[id.0]
     }
 
-    /// Migrates a running application from one node to another: the source node
-    /// suspends it (state capture through `$save`-style get requests), the target
-    /// node deploys the same program and restores the captured state, and execution
-    /// continues there (the Figure 9 / Figure 10 flow).
+    /// Migrates a running application from one node to another *in process*:
+    /// the source node suspends it (state capture through `$save`-style get
+    /// requests), the target node deploys the same program and restores the
+    /// captured state, and execution continues there (the Figure 9 /
+    /// Figure 10 flow).
+    ///
+    /// This is the in-memory reference path; production migration is
+    /// [`Cluster::live_migrate`], which moves the tenant through the durable
+    /// checkpoint wire format instead of handing the `Runtime` object across
+    /// — the differential suite asserts the two are bit-identical.
     ///
     /// Returns the application's id on the target node together with the target's
     /// deployment outcome.
@@ -141,6 +147,44 @@ impl Cluster {
         let runtime: Runtime = self.node_mut(from).disconnect(app)?;
         let target = self.node_mut(to);
         let new_id = target.connect(runtime, domain, io_bound);
+        let outcome = target.deploy(new_id)?;
+        Ok((new_id, outcome))
+    }
+
+    /// Migrates a running application from one node to another through the
+    /// durable checkpoint **wire format**: the source node suspends and
+    /// disconnects the tenant, its entire state is serialized to bytes
+    /// ([`Runtime::save_checkpoint`]), a fresh `Runtime` is rebuilt from
+    /// those bytes on the target node, and the target deploys it. The byte
+    /// stream is exactly what an on-disk checkpoint holds, so cross-node
+    /// migration, crash recovery, and the CI golden gate all exercise one
+    /// code path — and the result is bit-identical to the in-process
+    /// [`Cluster::migrate`].
+    ///
+    /// Returns the application's id on the target node together with the
+    /// target's deployment outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the application is unknown on the source node,
+    /// the checkpoint cannot be rebuilt ([`HvError::Checkpoint`]), or the
+    /// target cannot deploy it.
+    pub fn live_migrate(
+        &mut self,
+        from: NodeId,
+        app: AppId,
+        to: NodeId,
+        domain: DomainId,
+        io_bound: bool,
+    ) -> Result<(AppId, DeployOutcome), HvError> {
+        let runtime: Runtime = self.node_mut(from).disconnect(app)?;
+        // The wire crossing: everything the tenant is becomes bytes...
+        let wire = runtime.save_checkpoint();
+        drop(runtime);
+        // ...and a brand-new runtime (as in a different process) comes back.
+        let restored = Runtime::restore_checkpoint(&wire)?;
+        let target = self.node_mut(to);
+        let new_id = target.connect(restored, domain, io_bound);
         let outcome = target.deploy(new_id)?;
         Ok((new_id, outcome))
     }
@@ -269,6 +313,48 @@ mod tests {
             .unwrap();
         assert_eq!(node, big);
         assert!(cluster.node(big).app(new_app).is_ok());
+    }
+
+    #[test]
+    fn live_migrate_matches_in_process_migration_bit_for_bit() {
+        let build = || {
+            let mut cluster = Cluster::new();
+            let de10 = cluster.add_node(Device::de10());
+            let f1 = cluster.add_node(Device::f1());
+            let app = cluster
+                .node_mut(de10)
+                .connect(counter_runtime("c"), DomainId(1), false);
+            cluster.node_mut(de10).deploy(app).unwrap();
+            cluster.node_mut(de10).run_round(0.0002).unwrap();
+            (cluster, de10, f1, app)
+        };
+
+        let (mut in_proc, de10_a, f1_a, app_a) = build();
+        let (mut wire, de10_b, f1_b, app_b) = build();
+        let (new_a, out_a) = in_proc
+            .migrate(de10_a, app_a, f1_a, DomainId(2), false)
+            .unwrap();
+        let (new_b, out_b) = wire
+            .live_migrate(de10_b, app_b, f1_b, DomainId(2), false)
+            .unwrap();
+        assert_eq!(out_a, out_b, "deployment outcomes must match");
+
+        // Identical state right after migration, and identical onward
+        // execution — the wire crossing is invisible.
+        assert_eq!(
+            in_proc.node(f1_a).app(new_a).unwrap().peek_state(),
+            wire.node(f1_b).app(new_b).unwrap().peek_state(),
+        );
+        in_proc.node_mut(f1_a).run_round(0.0002).unwrap();
+        wire.node_mut(f1_b).run_round(0.0002).unwrap();
+        assert_eq!(
+            in_proc.node(f1_a).app(new_a).unwrap().peek_state(),
+            wire.node(f1_b).app(new_b).unwrap().peek_state(),
+        );
+        assert_eq!(
+            in_proc.node(f1_a).app(new_a).unwrap().now_ns(),
+            wire.node(f1_b).app(new_b).unwrap().now_ns(),
+        );
     }
 
     #[test]

@@ -18,8 +18,13 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use synergy_amorphos::{DomainId, Hull, HullError, MorphletId, Quiescence};
-use synergy_fpga::{BitstreamCache, Device, Fabric, FabricError, SimClock, SynthOptions};
-use synergy_runtime::{CompiledTier, EnginePolicy, ExecMode, RunReport, Runtime, RuntimeEvent};
+use synergy_fpga::{
+    BitstreamCache, CompileOutcome, Device, Fabric, FabricError, SimClock, SynthOptions,
+};
+use synergy_runtime::{
+    CheckpointError, CompiledTier, EnginePolicy, ExecMode, RunReport, Runtime, RuntimeEvent,
+};
+use synergy_snapshot::{decode_frame_of, Reader, SnapshotError, Writer, KIND_FLEET};
 use synergy_transform::transform;
 use synergy_vlog::VlogError;
 
@@ -44,6 +49,24 @@ pub enum HvError {
     Compile(VlogError),
     /// The application is not currently deployed to hardware.
     NotDeployed(u64),
+    /// A durable checkpoint could not be decoded or rebuilt
+    /// (see [`synergy_runtime::CheckpointError`]).
+    Checkpoint(CheckpointError),
+    /// A fleet restore was attempted in an invalid configuration (e.g. into
+    /// a hypervisor that already has connected tenants).
+    Restore(String),
+    /// A checkpointed tenant that was deployed to hardware no longer fits on
+    /// the restoring device — a checkpoint taken on a large device (`f1`)
+    /// must not silently land in software when restored onto a small one
+    /// (`de10`); the caller decides whether to restore elsewhere.
+    RestoreCapacity {
+        /// The tenant that failed re-admission.
+        app: u64,
+        /// The device that rejected it.
+        device: String,
+        /// Human-readable shortfall description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for HvError {
@@ -54,11 +77,34 @@ impl fmt::Display for HvError {
             HvError::Hull(e) => write!(f, "protection error: {}", e),
             HvError::Compile(e) => write!(f, "compilation error: {}", e),
             HvError::NotDeployed(id) => write!(f, "application {} is not deployed", id),
+            HvError::Checkpoint(e) => write!(f, "checkpoint error: {}", e),
+            HvError::Restore(what) => write!(f, "fleet restore rejected: {}", what),
+            HvError::RestoreCapacity {
+                app,
+                device,
+                detail,
+            } => write!(
+                f,
+                "checkpointed application {} does not fit device '{}': {}",
+                app, device, detail
+            ),
         }
     }
 }
 
 impl std::error::Error for HvError {}
+
+impl From<CheckpointError> for HvError {
+    fn from(e: CheckpointError) -> Self {
+        HvError::Checkpoint(e)
+    }
+}
+
+impl From<SnapshotError> for HvError {
+    fn from(e: SnapshotError) -> Self {
+        HvError::Checkpoint(CheckpointError::Decode(e))
+    }
+}
 
 impl From<FabricError> for HvError {
     fn from(e: FabricError) -> Self {
@@ -775,6 +821,314 @@ impl Hypervisor {
             }
         }
     }
+
+    /// Serializes the whole fleet — every tenant's durable checkpoint plus
+    /// the hypervisor's scheduler state (DRR deficits, temporal-multiplexing
+    /// cursor, quarantine set, id counters, engine policy/tier knobs, and
+    /// the simulated clock) — into one `synergy-snapshot` fleet frame.
+    ///
+    /// Call between scheduling rounds, when every tenant is quiesced at a
+    /// tick boundary. The round-scheduling policy is deliberately *not*
+    /// captured: a restored fleet runs under whatever [`SchedPolicy`] the
+    /// restoring hypervisor has (rounds are bit-identical either way).
+    ///
+    /// ## Fleet payload layout (wire-format version 1)
+    ///
+    /// | field | encoding |
+    /// |-------|----------|
+    /// | source device name | string (diagnostics only) |
+    /// | engine policy | `u8`: 0 interpreter, 1 compiled, 2 auto |
+    /// | tier knob | `u8`: 0 unset, 1 stack, 2 regalloc |
+    /// | round tick cap, io cursor, handshakes, next app, next engine, clock ns | 6 × `u64` |
+    /// | quarantined | `u32` n × `u64` app id |
+    /// | DRR deficits | `u32` n × (`u64` app, `u64` deficit) |
+    /// | tenants | `u32` n × (`u64` id, `u64` domain, `bool` io-bound, `bool` deployed (+ `u64` engine id), runtime-checkpoint blob) |
+    ///
+    /// Each tenant blob is byte-for-byte a [`Runtime::save_checkpoint`]
+    /// frame — the same bytes an on-disk single-tenant checkpoint (or
+    /// `Cluster::live_migrate`) uses.
+    pub fn checkpoint_fleet(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(&self.device.name);
+        w.put_u8(match self.policy {
+            EnginePolicy::Interpreter => 0,
+            EnginePolicy::Compiled => 1,
+            EnginePolicy::Auto => 2,
+        });
+        w.put_u8(match self.tier {
+            None => 0,
+            Some(CompiledTier::Stack) => 1,
+            Some(CompiledTier::RegAlloc) => 2,
+        });
+        w.put_u64(self.round_tick_cap);
+        w.put_u64(self.io_cursor as u64);
+        w.put_u64(self.handshakes);
+        w.put_u64(self.next_app);
+        w.put_u64(self.next_engine);
+        w.put_u64(self.clock.now_ns());
+        w.put_u32(self.quarantined.len() as u32);
+        for id in &self.quarantined {
+            w.put_u64(id.0);
+        }
+        let drr = self.drr.entries();
+        w.put_u32(drr.len() as u32);
+        for (app, deficit) in drr {
+            w.put_u64(app);
+            w.put_u64(deficit);
+        }
+        w.put_u32(self.apps.len() as u32);
+        for slot in self.apps.values() {
+            w.put_u64(slot.id.0);
+            w.put_u64(slot.domain.0);
+            w.put_bool(slot.io_bound);
+            match slot.engine {
+                None => w.put_bool(false),
+                Some(engine) => {
+                    w.put_bool(true);
+                    w.put_u64(engine.0);
+                }
+            }
+            w.put_blob(&slot.runtime().save_checkpoint());
+        }
+        w.into_frame(KIND_FLEET)
+    }
+
+    /// Restores a fleet checkpoint into this (empty) hypervisor: every
+    /// tenant is rebuilt from its embedded runtime checkpoint, tenants that
+    /// were deployed are re-admitted through synthesis, the AmorphOS hull,
+    /// and fabric placement — re-validating capacity on *this* device — and
+    /// the scheduler state (DRR, quarantine, io cursor, clocks) is restored
+    /// so subsequent rounds are bit-identical to the uninterrupted fleet.
+    ///
+    /// The restoring hypervisor keeps its own [`SchedPolicy`]: a fleet
+    /// checkpointed under a sequential scheduler restarts cleanly into a
+    /// parallel one and vice versa.
+    ///
+    /// Returns the restored application ids in tenant order.
+    ///
+    /// # Errors
+    ///
+    /// * [`HvError::Restore`] if this hypervisor already has tenants.
+    /// * [`HvError::Checkpoint`] for undecodable or unrebuildable bytes
+    ///   (truncation, corruption, unknown version — always typed).
+    /// * [`HvError::RestoreCapacity`] when a tenant deployed at capture time
+    ///   no longer fits this device's fabric — the checkpoint is *not*
+    ///   silently degraded to software execution.
+    pub fn restore_fleet(&mut self, bytes: &[u8]) -> Result<Vec<AppId>, HvError> {
+        if !self.apps.is_empty() {
+            return Err(HvError::Restore(format!(
+                "hypervisor already has {} connected tenant(s)",
+                self.apps.len()
+            )));
+        }
+        let payload = decode_frame_of(bytes, KIND_FLEET)?;
+        let mut r = Reader::new(payload);
+        let _source_device = r.get_str().map_err(HvError::from)?;
+        let policy = match r.get_u8()? {
+            0 => EnginePolicy::Interpreter,
+            1 => EnginePolicy::Compiled,
+            2 => EnginePolicy::Auto,
+            tag => {
+                return Err(SnapshotError::Malformed(format!("unknown policy tag {}", tag)).into())
+            }
+        };
+        let tier = match r.get_u8()? {
+            0 => None,
+            1 => Some(CompiledTier::Stack),
+            2 => Some(CompiledTier::RegAlloc),
+            tag => {
+                return Err(SnapshotError::Malformed(format!("unknown tier tag {}", tag)).into())
+            }
+        };
+        let round_tick_cap = r.get_u64()?;
+        let io_cursor = r.get_u64()? as usize;
+        let handshakes = r.get_u64()?;
+        let next_app = r.get_u64()?;
+        let next_engine = r.get_u64()?;
+        let clock_ns = r.get_u64()?;
+        let n_quarantined = r.get_count(8)?;
+        let mut quarantined = BTreeSet::new();
+        for _ in 0..n_quarantined {
+            quarantined.insert(AppId(r.get_u64()?));
+        }
+        let n_drr = r.get_count(16)?;
+        let mut drr = Vec::with_capacity(n_drr);
+        for _ in 0..n_drr {
+            drr.push((r.get_u64()?, r.get_u64()?));
+        }
+        struct TenantRecord {
+            id: AppId,
+            domain: DomainId,
+            io_bound: bool,
+            engine: Option<EngineId>,
+            runtime: Runtime,
+        }
+        let n_apps = r.get_count(19)?;
+        let mut tenants = Vec::with_capacity(n_apps);
+        for _ in 0..n_apps {
+            let id = AppId(r.get_u64()?);
+            let domain = DomainId(r.get_u64()?);
+            let io_bound = r.get_bool()?;
+            let engine = if r.get_bool()? {
+                Some(EngineId(r.get_u64()?))
+            } else {
+                None
+            };
+            let blob = r.get_blob()?;
+            let runtime = Runtime::restore_checkpoint(blob)?;
+            tenants.push(TenantRecord {
+                id,
+                domain,
+                io_bound,
+                engine,
+                runtime,
+            });
+        }
+        r.finish().map_err(HvError::from)?;
+
+        // Planning pass: re-run hardware admission (transform + synthesis +
+        // capacity) for every deployed tenant against *this* device before
+        // mutating any hypervisor state, so a failed restore leaves the
+        // hypervisor untouched and retryable elsewhere. Resources are summed
+        // cumulatively: tenants that fit individually but not collectively
+        // are rejected here too (the fabric is empty — `apps` is — so the
+        // cumulative sum is exactly what `Fabric::admits` would see).
+        //
+        // The capacity bug this guards against: a fleet checkpointed on a
+        // large device must not silently restore its hardware tenants into
+        // software on a smaller one.
+        let mut plans: Vec<Option<(synergy_transform::Transformed, CompileOutcome)>> =
+            Vec::with_capacity(tenants.len());
+        let (mut luts, mut ffs, mut bram_bits) = (0u64, 0u64, 0u64);
+        for record in &tenants {
+            if record.engine.is_none() {
+                plans.push(None);
+                continue;
+            }
+            let transformed = transform(record.runtime.design(), Default::default())?;
+            let synth_options = SynthOptions::synergy(
+                &self.device,
+                transformed.state.captured_bits() as u64,
+                transformed.state.vars.len() as u64,
+            );
+            let outcome = self.cache.compile(
+                &transformed.source,
+                &transformed.elab,
+                &self.device,
+                synth_options,
+            );
+            luts += outcome.bitstream.report.luts;
+            ffs += outcome.bitstream.report.ffs;
+            bram_bits += outcome.bitstream.report.bram_bits;
+            if luts > self.device.lut_capacity
+                || ffs > self.device.ff_capacity
+                || bram_bits > self.device.bram_bits
+            {
+                return Err(HvError::RestoreCapacity {
+                    app: record.id.0,
+                    device: self.device.name.clone(),
+                    detail: format!(
+                        "needs {} LUTs / {} FFs / {} BRAM bits ({} / {} / {} cumulative); \
+                         device offers {} / {} / {}",
+                        outcome.bitstream.report.luts,
+                        outcome.bitstream.report.ffs,
+                        outcome.bitstream.report.bram_bits,
+                        luts,
+                        ffs,
+                        bram_bits,
+                        self.device.lut_capacity,
+                        self.device.ff_capacity,
+                        self.device.bram_bits
+                    ),
+                });
+            }
+            plans.push(Some((transformed, outcome)));
+        }
+
+        // Apply: scheduler state first, then tenants, loading each planned
+        // hardware admission onto the hull + fabric.
+        self.policy = policy;
+        self.tier = tier;
+        self.round_tick_cap = round_tick_cap;
+        self.io_cursor = io_cursor;
+        self.handshakes = handshakes;
+        self.next_app = next_app;
+        self.next_engine = next_engine;
+        self.clock = SimClock::new();
+        self.clock.advance_ns(clock_ns);
+        self.quarantined = quarantined;
+        self.drr.restore_entries(drr);
+
+        let mut ids = Vec::with_capacity(tenants.len());
+        for (record, plan) in tenants.into_iter().zip(plans) {
+            let TenantRecord {
+                id,
+                domain,
+                io_bound,
+                engine,
+                mut runtime,
+            } = record;
+            if let (Some(engine_id), Some((transformed, outcome))) = (engine, plan) {
+                let morphlet = self.hull.register(
+                    domain,
+                    runtime.name().to_string(),
+                    outcome.bitstream.report,
+                    if transformed.state.uses_yield {
+                        Quiescence::ApplicationManaged
+                    } else {
+                        Quiescence::Transparent
+                    },
+                );
+                self.fabric
+                    .load(
+                        &format!("engine_{}", engine_id.0),
+                        outcome.bitstream.clone(),
+                    )
+                    .map_err(HvError::from)?;
+                // Re-seat the tenant's engine on *this* device without
+                // advancing simulated time (restore is not a simulated
+                // event; the checkpoint already carries the timeline) —
+                // unless the checkpoint was taken on the same device type,
+                // in which case the engine `restore_checkpoint` built is
+                // already correct.
+                if runtime.mode() != ExecMode::Hardware(self.device.name.clone()) {
+                    runtime
+                        .rehome_hardware(&self.device, &self.cache)
+                        .map_err(HvError::Compile)?;
+                }
+                self.engines.insert(
+                    engine_id,
+                    EngineEntry {
+                        id: engine_id,
+                        app: id,
+                        module_name: transformed.module.name.clone(),
+                        source: transformed.source.clone(),
+                        morphlet,
+                    },
+                );
+            }
+            self.apps.insert(
+                id,
+                AppSlot {
+                    id,
+                    runtime: Some(runtime),
+                    domain,
+                    io_bound,
+                    engine,
+                },
+            );
+            ids.push(id);
+        }
+
+        // Propagate the (re-established) global clock to hardware tenants.
+        let global = self.fabric.global_clock_hz();
+        for slot in self.apps.values_mut() {
+            if slot.engine.is_some() {
+                slot.runtime_mut().set_clock_hz(global);
+            }
+        }
+        Ok(ids)
+    }
 }
 
 /// Upgrades a software-resident runtime per the engine policy. Uncompilable
@@ -1369,5 +1723,169 @@ mod tests {
             hv.disconnect(AppId(99)),
             Err(HvError::UnknownApp(99))
         ));
+    }
+
+    /// Builds a mixed fleet (hardware counter, compiled counter, deployed
+    /// stream, quarantined hostile tenant) with some scheduler history.
+    fn mixed_fleet() -> Hypervisor {
+        let mut hv = Hypervisor::new(Device::f1());
+        hv.set_engine_policy(EnginePolicy::Auto);
+        hv.set_round_tick_cap(200);
+        let hw = hv.connect(counter_runtime("hw"), DomainId(1), false);
+        hv.deploy(hw).unwrap();
+        hv.connect(counter_runtime("sw"), DomainId(2), false);
+        let stream = hv.connect(streamer_runtime("stream", 100_000), DomainId(3), true);
+        hv.deploy(stream).unwrap();
+        hv.connect(hostile_runtime("bad"), DomainId(4), false);
+        for _ in 0..3 {
+            hv.run_round(0.0003).unwrap();
+        }
+        hv
+    }
+
+    #[test]
+    fn fleet_checkpoint_restores_bit_identically_under_any_sched_policy() {
+        let mut original = mixed_fleet();
+        let bytes = original.checkpoint_fleet();
+
+        // Restore into a fresh hypervisor running the *parallel* scheduler:
+        // the checkpoint deliberately does not pin a SchedPolicy.
+        let mut restored = Hypervisor::new(Device::f1());
+        restored.set_sched_policy(SchedPolicy::Parallel { workers: 4 });
+        let ids = restored.restore_fleet(&bytes).unwrap();
+        assert_eq!(ids, original.apps());
+        assert_eq!(restored.quarantined(), original.quarantined());
+        assert_eq!(restored.handshakes(), original.handshakes());
+        assert_eq!(restored.global_clock_hz(), original.global_clock_hz());
+
+        for app in original.apps() {
+            assert_eq!(
+                restored.app(app).unwrap().peek_state(),
+                original.app(app).unwrap().peek_state(),
+                "tenant {} state must survive the wire",
+                app.0
+            );
+            assert_eq!(
+                restored.app(app).unwrap().mode(),
+                original.app(app).unwrap().mode(),
+                "tenant {} engine placement must survive the wire",
+                app.0
+            );
+            assert_eq!(
+                restored.app(app).unwrap().now_ns(),
+                original.app(app).unwrap().now_ns(),
+            );
+        }
+
+        // Onward rounds are bit-identical: DRR deficits, the io cursor, and
+        // quarantine all resumed exactly where the checkpoint left them.
+        for _ in 0..3 {
+            let a = original.run_round(0.0003).unwrap();
+            let b = restored.run_round(0.0003).unwrap();
+            assert_eq!(a, b, "round stats diverged after restore");
+        }
+        for app in original.apps() {
+            assert_eq!(
+                restored.app(app).unwrap().peek_state(),
+                original.app(app).unwrap().peek_state(),
+            );
+        }
+
+        // New connects after restore get fresh ids (the id counter is part
+        // of the checkpoint).
+        let next = restored.connect(counter_runtime("late"), DomainId(9), false);
+        assert!(!original.apps().contains(&next));
+    }
+
+    #[test]
+    fn fleet_restore_rejects_non_empty_hypervisors_and_bad_bytes() {
+        let original = mixed_fleet();
+        let bytes = original.checkpoint_fleet();
+
+        // Occupied target.
+        let mut occupied = Hypervisor::new(Device::f1());
+        occupied.connect(counter_runtime("resident"), DomainId(1), false);
+        assert!(matches!(
+            occupied.restore_fleet(&bytes),
+            Err(HvError::Restore(_))
+        ));
+
+        // Truncated, corrupted, and wrong-kind bytes are typed errors.
+        let mut fresh = Hypervisor::new(Device::f1());
+        assert!(matches!(
+            fresh.restore_fleet(&bytes[..bytes.len() / 2]),
+            Err(HvError::Checkpoint(_))
+        ));
+        let mut corrupt = bytes.clone();
+        corrupt[60] ^= 0x40;
+        assert!(matches!(
+            fresh.restore_fleet(&corrupt),
+            Err(HvError::Checkpoint(_))
+        ));
+        let tenant_frame = original.app(AppId(1)).unwrap().save_checkpoint();
+        assert!(matches!(
+            fresh.restore_fleet(&tenant_frame),
+            Err(HvError::Checkpoint(_))
+        ));
+        // The failed attempts left the hypervisor usable.
+        assert!(fresh.restore_fleet(&bytes).is_ok());
+    }
+
+    #[test]
+    fn fleet_restore_revalidates_device_capacity() {
+        // A fleet checkpointed with a hardware tenant on the (huge) f1 must
+        // not silently restore onto a device it no longer fits: the restore
+        // returns a typed capacity error instead of degrading to software.
+        let mut original = Hypervisor::new(Device::f1());
+        // A software co-tenant records first in the fleet: a capacity
+        // failure on the *later* hardware tenant must not leave it behind.
+        original.connect(counter_runtime("sw"), DomainId(1), false);
+        let app = original.connect(counter_runtime("big"), DomainId(2), false);
+        original.deploy(app).unwrap();
+        original.run_round(0.0002).unwrap();
+        let bytes = original.checkpoint_fleet();
+
+        let tiny = Device {
+            name: "tiny".into(),
+            lut_capacity: 10,
+            ff_capacity: 10,
+            bram_bits: 10,
+            ..Device::f1()
+        };
+        let mut target = Hypervisor::new(tiny);
+        match target.restore_fleet(&bytes) {
+            Err(HvError::RestoreCapacity {
+                app: failed,
+                device,
+                detail,
+            }) => {
+                assert_eq!(failed, app.0);
+                assert_eq!(device, "tiny");
+                assert!(detail.contains("LUT"), "detail is diagnostic: {}", detail);
+            }
+            other => panic!("expected RestoreCapacity, got {:?}", other.map(|_| ())),
+        }
+        // The failed restore left the target completely untouched (no
+        // half-restored tenants or scheduler state), so the same checkpoint
+        // can be retried — and fails the same way, not with
+        // HvError::Restore("already has tenants").
+        assert!(
+            target.apps().is_empty(),
+            "no tenant may survive a failed restore"
+        );
+        assert!(target.quarantined().is_empty());
+        assert!(matches!(
+            target.restore_fleet(&bytes),
+            Err(HvError::RestoreCapacity { .. })
+        ));
+
+        // The same checkpoint restores fine onto a device with capacity.
+        let mut ok = Hypervisor::new(Device::f1());
+        ok.restore_fleet(&bytes).unwrap();
+        assert_eq!(
+            ok.app(app).unwrap().mode(),
+            ExecMode::Hardware("f1".into()),
+            "hardware residency is re-established, not silently dropped"
+        );
     }
 }

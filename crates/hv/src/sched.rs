@@ -334,6 +334,16 @@ impl DeficitRoundRobin {
     pub fn deficit(&self, app: u64) -> u64 {
         self.deficits.get(&app).copied().unwrap_or(0)
     }
+
+    /// All `(app, deficit)` entries in app order (fleet checkpointing).
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        self.deficits.iter().map(|(&a, &d)| (a, d)).collect()
+    }
+
+    /// Replaces the scheduler state wholesale (fleet restore).
+    pub fn restore_entries(&mut self, entries: impl IntoIterator<Item = (u64, u64)>) {
+        self.deficits = entries.into_iter().collect();
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,39 @@ struct FileStream {
     eof: bool,
 }
 
+/// A serializable image of one open (or closed) `$fopen` stream, part of
+/// [`EnvImage`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamImage {
+    /// The stream's backing data (cloned from the file at `$fopen` time).
+    pub data: Vec<u64>,
+    /// Read cursor.
+    pub pos: u64,
+    /// Whether a read has already gone past the end.
+    pub eof: bool,
+}
+
+/// A complete, serializable image of a [`BufferEnv`]: registered files, open
+/// stream positions, captured output, and the RNG state. This is the
+/// "tenant environment" section of a durable checkpoint — restoring it (via
+/// [`BufferEnv::from_image`]) reproduces every `$fread`/`$feof`/`$random`
+/// outcome bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvImage {
+    /// Captured `$display`/`$write` output fragments, in emission order.
+    pub output: Vec<String>,
+    /// Registered files, sorted by path (deterministic encoding).
+    pub files: Vec<(String, Vec<u64>)>,
+    /// Streams indexed by `fd - 1`; `None` marks a closed descriptor.
+    pub streams: Vec<Option<StreamImage>>,
+    /// Next descriptor `$fopen` will hand out.
+    pub next_fd: u32,
+    /// `$random` generator state.
+    pub rng_state: u64,
+    /// Total values served through `$fread`.
+    pub reads: u64,
+}
+
 impl BufferEnv {
     /// Creates an empty environment.
     pub fn new() -> Self {
@@ -98,6 +131,56 @@ impl BufferEnv {
     /// All captured output joined into one string.
     pub fn output_text(&self) -> String {
         self.output.concat()
+    }
+
+    /// Captures the complete environment state for a durable checkpoint.
+    pub fn image(&self) -> EnvImage {
+        let mut files: Vec<(String, Vec<u64>)> = self
+            .files
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        EnvImage {
+            output: self.output.clone(),
+            files,
+            streams: self
+                .streams
+                .iter()
+                .map(|s| {
+                    s.as_ref().map(|s| StreamImage {
+                        data: s.data.clone(),
+                        pos: s.pos as u64,
+                        eof: s.eof,
+                    })
+                })
+                .collect(),
+            next_fd: self.next_fd,
+            rng_state: self.rng_state,
+            reads: self.reads,
+        }
+    }
+
+    /// Reconstructs an environment from a checkpointed image.
+    pub fn from_image(image: EnvImage) -> BufferEnv {
+        BufferEnv {
+            output: image.output,
+            files: image.files.into_iter().collect(),
+            streams: image
+                .streams
+                .into_iter()
+                .map(|s| {
+                    s.map(|s| FileStream {
+                        data: s.data,
+                        pos: s.pos as usize,
+                        eof: s.eof,
+                    })
+                })
+                .collect(),
+            next_fd: image.next_fd,
+            rng_state: image.rng_state,
+            reads: image.reads,
+        }
     }
 }
 
@@ -191,6 +274,32 @@ mod tests {
         let mut b = BufferEnv::new();
         assert_eq!(a.random(), b.random());
         assert_ne!(a.random(), a.random());
+    }
+
+    #[test]
+    fn env_image_round_trips_stream_positions_and_rng() {
+        let mut env = BufferEnv::new();
+        env.add_file("data", vec![1, 2, 3, 4]);
+        env.print("hello");
+        let fd = env.fopen("data");
+        let closed = env.fopen("missing");
+        env.fclose(closed);
+        env.fread(fd, 32).unwrap();
+        env.fread(fd, 32).unwrap();
+        env.random();
+
+        let mut restored = BufferEnv::from_image(env.image());
+        assert_eq!(restored.image(), env.image(), "image is stable");
+        // Both lineages continue identically: same next record, same eof
+        // transition, same RNG draws, same fd numbering.
+        assert_eq!(
+            restored.fread(fd, 32).unwrap().to_u64(),
+            env.fread(fd, 32).unwrap().to_u64()
+        );
+        assert_eq!(restored.random(), env.random());
+        assert_eq!(restored.fopen("data"), env.fopen("data"));
+        assert_eq!(restored.output_text(), env.output_text());
+        assert!(restored.fread(closed, 32).is_none(), "closed stays closed");
     }
 
     #[test]

@@ -220,7 +220,10 @@ impl Interpreter {
     /// Variables present in the snapshot but not the design are ignored, which
     /// allows migration between engines compiled from the same source. Continuous
     /// assignments are re-propagated so outputs immediately reflect the restored
-    /// registers.
+    /// registers, and edge detection is re-seeded from the restored values —
+    /// the restored state is the new steady state, so the transition from the
+    /// pre-restore (or freshly constructed) values must not fire any
+    /// `always @(edge ...)` block.
     pub fn restore_state(&mut self, snapshot: &StateSnapshot) {
         for (name, value) in &snapshot.values {
             if self.values.contains_key(name) {
@@ -229,11 +232,56 @@ impl Interpreter {
         }
         self.time = snapshot.time;
         let _ = self.propagate_assigns(&mut NullEnv);
+        self.prime_guards();
+    }
+
+    /// Re-seeds the stored previous guard values from the *current* values,
+    /// so the next [`Interpreter::evaluate`] sees no edges. The compiled
+    /// tiers implement the identical priming in their `restore_state`.
+    fn prime_guards(&mut self) {
+        for idx in 0..self.module.always.len() {
+            let block = &self.module.always[idx];
+            if block.events.is_empty() {
+                let current: Vec<Bits> = self.star_sensitivity[idx]
+                    .iter()
+                    .map(|n| {
+                        self.values
+                            .get(n)
+                            .map(|v| v.as_scalar().clone())
+                            .unwrap_or_default()
+                    })
+                    .collect();
+                self.guard_prev[idx] = current;
+            } else {
+                let current: Vec<Bits> = block
+                    .events
+                    .iter()
+                    .map(|e| {
+                        self.eval_expr_pure(&e.expr)
+                            .unwrap_or_else(|_| Bits::zero(1))
+                    })
+                    .collect();
+                self.guard_prev[idx] = current;
+            }
+        }
     }
 
     /// `true` if non-blocking assignments are waiting to be latched.
     pub fn there_are_updates(&self) -> bool {
         !self.nonblocking.is_empty()
+    }
+
+    /// Whether `initial` blocks have already executed.
+    pub fn initials_run(&self) -> bool {
+        self.initials_run
+    }
+
+    /// Marks `initial` blocks as executed *without* running them. Used when
+    /// restoring captured state into a fresh interpreter: the checkpointed
+    /// program already ran its initials (and their environment side effects,
+    /// such as `$fopen`), so replaying them would corrupt the restored run.
+    pub fn mark_initials_run(&mut self) {
+        self.initials_run = true;
     }
 
     /// Runs `initial` blocks if they have not run yet. Called automatically by

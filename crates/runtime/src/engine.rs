@@ -98,6 +98,18 @@ pub trait Engine: Send {
     /// last call.
     fn take_effects(&mut self) -> Vec<TaskEffect>;
 
+    /// Whether the engine has already executed the program's `initial`
+    /// blocks (they run lazily, on the first tick).
+    fn initials_run(&self) -> bool;
+
+    /// Marks `initial` blocks as executed *without* running them. The
+    /// runtime calls this when it restores captured state into a freshly
+    /// constructed engine (migration and checkpoint restore): the program
+    /// already ran its initials — including their environment side effects,
+    /// such as `$fopen` — so replaying them would re-open streams and
+    /// corrupt the resumed run.
+    fn mark_initials_run(&mut self);
+
     /// The compiled-engine execution tier, if this engine is the compiled
     /// engine.
     fn compiled_tier(&self) -> Option<Tier> {
@@ -169,6 +181,14 @@ impl Engine for SoftwareEngine {
 
     fn take_effects(&mut self) -> Vec<TaskEffect> {
         self.interp.take_effects()
+    }
+
+    fn initials_run(&self) -> bool {
+        self.interp.initials_run()
+    }
+
+    fn mark_initials_run(&mut self) {
+        self.interp.mark_initials_run();
     }
 }
 
@@ -286,6 +306,14 @@ impl Engine for CompiledEngine {
 
     fn take_effects(&mut self) -> Vec<TaskEffect> {
         self.sim.take_effects()
+    }
+
+    fn initials_run(&self) -> bool {
+        self.sim.initials_run()
+    }
+
+    fn mark_initials_run(&mut self) {
+        self.sim.mark_initials_run();
     }
 }
 
@@ -567,6 +595,14 @@ impl Engine for HardwareEngine {
         let mut effects = std::mem::take(&mut self.effects);
         effects.extend(self.interp.take_effects());
         effects
+    }
+
+    fn initials_run(&self) -> bool {
+        self.interp.initials_run()
+    }
+
+    fn mark_initials_run(&mut self) {
+        self.interp.mark_initials_run();
     }
 }
 

@@ -9,11 +9,19 @@
 //! runtime at sub-clock-tick granularity whenever an unsynthesizable task needs
 //! servicing. State capture (`$save`/`$restart`), workload migration, and the
 //! virtual-clock profiling used throughout the paper's evaluation live here.
+//!
+//! The [`checkpoint`] module extends in-memory state capture with a durable
+//! wire format: [`Runtime::save_checkpoint`] serializes the whole tenant
+//! (program, engine placement, architectural state, environment, clocks) into
+//! a `synergy-snapshot` frame, and [`Runtime::restore_checkpoint`] rebuilds a
+//! running tenant from those bytes in a fresh process.
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod engine;
 mod runtime;
 
+pub use checkpoint::CheckpointError;
 pub use engine::{CompiledEngine, Engine, EngineKind, HardwareEngine, SoftwareEngine, TickReport};
 pub use runtime::{
     CompiledTier, EnginePolicy, ExecMode, Profiler, RunReport, Runtime, RuntimeEvent, Sample,

@@ -33,9 +33,9 @@ pub struct Sample {
 /// Records virtual-clock progress over simulated time.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Profiler {
-    samples: Vec<Sample>,
-    last_time_s: f64,
-    last_ticks: u64,
+    pub(crate) samples: Vec<Sample>,
+    pub(crate) last_time_s: f64,
+    pub(crate) last_ticks: u64,
 }
 
 impl Profiler {
@@ -128,31 +128,34 @@ pub enum EnginePolicy {
 }
 
 /// The per-application runtime: program, engine, environment, and profile.
+///
+/// Fields are `pub(crate)` so the durable-checkpoint codec
+/// (`crate::checkpoint`) can capture and reconstruct the full runtime.
 pub struct Runtime {
-    name: String,
-    source: String,
-    top: String,
-    clock: String,
-    design: ElabModule,
-    engine: Box<dyn Engine>,
+    pub(crate) name: String,
+    pub(crate) source: String,
+    pub(crate) top: String,
+    pub(crate) clock: String,
+    pub(crate) design: ElabModule,
+    pub(crate) engine: Box<dyn Engine>,
     /// System-task environment (file streams, captured output).
     pub env: BufferEnv,
-    clock_hz: u64,
-    transport_ns: u64,
-    sim: SimClock,
-    ticks: u64,
-    profiler: Profiler,
-    checkpoints: BTreeMap<String, StateSnapshot>,
-    transformed: Option<Transformed>,
-    transform_options: TransformOptions,
+    pub(crate) clock_hz: u64,
+    pub(crate) transport_ns: u64,
+    pub(crate) sim: SimClock,
+    pub(crate) ticks: u64,
+    pub(crate) profiler: Profiler,
+    pub(crate) checkpoints: BTreeMap<String, StateSnapshot>,
+    pub(crate) transformed: Option<Transformed>,
+    pub(crate) transform_options: TransformOptions,
     /// Cached lowering for the compiled engine (mirrors `transformed` for the
     /// hardware path), so repeated engine migrations don't re-lower.
-    compiled: Option<synergy_codegen::CompiledProgram>,
-    policy: EnginePolicy,
+    pub(crate) compiled: Option<synergy_codegen::CompiledProgram>,
+    pub(crate) policy: EnginePolicy,
     /// Which compiled-engine tier to instantiate (default from the
     /// environment; see [`CompiledTier::from_env`]).
-    tier: CompiledTier,
-    finished: Option<u32>,
+    pub(crate) tier: CompiledTier,
+    pub(crate) finished: Option<u32>,
 }
 
 impl Runtime {
@@ -527,6 +530,29 @@ impl Runtime {
         device: &Device,
         cache: &BitstreamCache,
     ) -> VlogResult<u64> {
+        self.seat_on_hardware(device, cache, false)
+    }
+
+    /// Re-seats the program on a hardware engine *without* modelling any
+    /// migration latency or advancing simulated time: the checkpoint-restore
+    /// path. A restore is not a simulated event — the checkpoint already
+    /// contains the pre-capture timeline (including the original deployment
+    /// latency), so re-homing must reproduce it exactly, even onto a
+    /// different device type.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the transformation fails.
+    pub fn rehome_hardware(&mut self, device: &Device, cache: &BitstreamCache) -> VlogResult<()> {
+        self.seat_on_hardware(device, cache, true).map(|_| ())
+    }
+
+    fn seat_on_hardware(
+        &mut self,
+        device: &Device,
+        cache: &BitstreamCache,
+        quiet: bool,
+    ) -> VlogResult<u64> {
         let transformed = match &self.transformed {
             Some(t) => t.clone(),
             None => {
@@ -543,14 +569,24 @@ impl Runtime {
         let outcome = cache.compile(&transformed.source, &transformed.elab, device, options);
         let mut latency = outcome.latency_ns + device.reconfig_latency_ns;
 
-        // Quiesce, capture state, swap engines, restore state (§3.5).
+        // Quiesce, capture state, swap engines, restore state (§3.5). The
+        // program's initials already ran on the outgoing engine (or are
+        // still pending, for a never-ticked runtime); carry that status so
+        // the fresh engine neither replays nor skips them.
+        let initials_run = self.engine.initials_run();
         let snapshot = self.engine.save_state();
         latency += self.state_transfer_ns(&snapshot);
         let mut hw = HardwareEngine::new(transformed, device.name.clone(), self.clock.clone());
         hw.restore_state(&snapshot);
+        if initials_run {
+            hw.mark_initials_run();
+        }
         self.engine = Box::new(hw);
         self.clock_hz = outcome.bitstream.report.achieved_hz;
         self.transport_ns = device.transport.request_latency_ns();
+        if quiet {
+            return Ok(0);
+        }
         self.sim.advance_ns(latency);
         Ok(latency)
     }
@@ -574,9 +610,13 @@ impl Runtime {
             }
         };
         let mut compiled = CompiledEngine::from_program_with_tier(program, &self.clock, self.tier)?;
+        let initials_run = self.engine.initials_run();
         let snapshot = self.engine.save_state();
         let latency = self.state_transfer_ns(&snapshot);
         compiled.restore_state(&snapshot);
+        if initials_run {
+            compiled.mark_initials_run();
+        }
         self.engine = Box::new(compiled);
         let device = Device::compiled();
         self.clock_hz = device.max_clock_hz;
@@ -588,11 +628,15 @@ impl Runtime {
     /// Moves execution back to the software engine (used while the fabric is being
     /// reconfigured, §4.2). Returns the simulated latency of the transition.
     pub fn migrate_to_software(&mut self) -> u64 {
+        let initials_run = self.engine.initials_run();
         let snapshot = self.engine.save_state();
         let latency = self.state_transfer_ns(&snapshot);
         let software = Device::software();
         let mut sw = SoftwareEngine::new(self.design.clone(), self.clock.clone());
         sw.restore_state(&snapshot);
+        if initials_run {
+            sw.mark_initials_run();
+        }
         self.engine = Box::new(sw);
         self.clock_hz = software.max_clock_hz;
         self.transport_ns = software.transport.request_latency_ns();

@@ -1,13 +1,20 @@
 //! Developer utility: sweep fuzz seeds differentially (interpreter vs both
-//! compiled-engine tiers) or print one seed's generated source.
+//! compiled-engine tiers), print one seed's generated source, regenerate the
+//! committed golden checkpoints, or sweep seeds through a checkpoint
+//! round-trip (checkpoint mid-run, restore, lockstep-compare against the
+//! uninterrupted run).
 //!
 //! ```text
-//! cargo run --release -p synergy-workloads --example showseed -- 7           # print seed 7
-//! cargo run --release -p synergy-workloads --example showseed -- 0 5000     # sweep seeds 0..5000
-//! cargo run --release -p synergy-workloads --example showseed -- corpus dir # dump the pinned corpus
+//! cargo run --release -p synergy-workloads --example showseed -- 7                # print seed 7
+//! cargo run --release -p synergy-workloads --example showseed -- 0 5000          # sweep seeds 0..5000
+//! cargo run --release -p synergy-workloads --example showseed -- corpus dir      # dump the pinned corpus
+//! cargo run --release -p synergy-workloads --example showseed -- golden tests/golden  # regenerate goldens
+//! cargo run --release -p synergy-workloads --example showseed -- roundtrip 0 2048    # checkpoint round-trip sweep
 //! ```
 
 use synergy_interp::{BufferEnv, Interpreter};
+use synergy_runtime::{EnginePolicy, Runtime};
+use synergy_workloads::golden::{golden_file_name, golden_matrix, golden_runtime};
 use synergy_workloads::{fuzz_input_data, generate_fuzz_design, REGRESSION_CORPUS};
 
 fn run_seed(seed: u64, ticks: usize) -> Result<(), String> {
@@ -94,11 +101,108 @@ fn dump_corpus(dir: &str) {
     );
 }
 
+/// Regenerates the committed golden checkpoints: one durable checkpoint per
+/// Table-1 workload per compiled-engine tier, captured by the shared
+/// `synergy_workloads::golden` recipe (the same construction the CI
+/// `snapshot-compat` gate replays as its fresh reference). Run this — and
+/// commit the result — whenever the wire format version is deliberately
+/// bumped.
+fn write_goldens(dir: &str) {
+    std::fs::create_dir_all(dir).expect("create golden dir");
+    for (bench, tier) in golden_matrix() {
+        let rt = golden_runtime(&bench, tier).unwrap_or_else(|e| {
+            panic!("golden {} ({:?}) failed to build: {}", bench.name, tier, e)
+        });
+        let file = golden_file_name(&bench, tier);
+        let bytes = rt.save_checkpoint();
+        std::fs::write(format!("{}/{}", dir, file), &bytes).expect("write golden");
+        println!("wrote {}/{} ({} bytes)", dir, file, bytes.len());
+    }
+}
+
+/// Runs one fuzz seed through a checkpoint round-trip: execute under
+/// `EnginePolicy::Auto`, checkpoint at a tick boundary mid-run, restore from
+/// the bytes, then lockstep-compare the restored lineage against the
+/// uninterrupted one.
+fn roundtrip_seed(seed: u64, warmup: u64, rest: u64) -> Result<(), String> {
+    let d = generate_fuzz_design(seed);
+    let mut rt = Runtime::with_policy(
+        format!("fuzz{}", seed),
+        &d.source,
+        &d.top,
+        &d.clock,
+        EnginePolicy::Auto,
+    )
+    .map_err(|e| format!("build: {}", e))?;
+    if let Some(path) = &d.input_path {
+        rt.add_file(
+            path.clone(),
+            fuzz_input_data(seed, (warmup + rest) as usize),
+        );
+    }
+    if rt.run_ticks(warmup).is_err() {
+        // Designs both engines reject identically are covered by the
+        // differential sweep; the round-trip leg only needs runnable ones.
+        return Ok(());
+    }
+    let bytes = rt.save_checkpoint();
+    let mut restored =
+        Runtime::restore_checkpoint(&bytes).map_err(|e| format!("restore: {}", e))?;
+    if restored.peek_state() != rt.peek_state() {
+        return Err("state diverges immediately after restore".into());
+    }
+    let a = rt.run_ticks(rest);
+    let b = restored.run_ticks(rest);
+    match (&a, &b) {
+        (Ok(_), Ok(_)) => {}
+        (Err(x), Err(y)) if x.to_string() == y.to_string() => return Ok(()),
+        _ => return Err(format!("onward results disagree ({:?} vs {:?})", a, b)),
+    }
+    if restored.peek_state() != rt.peek_state() {
+        return Err(format!("state diverges {} ticks after restore", rest));
+    }
+    if restored.env.output_text() != rt.env.output_text() {
+        return Err("output diverges after restore".into());
+    }
+    if restored.save_checkpoint() != rt.save_checkpoint() {
+        return Err("re-checkpoint bytes diverge".into());
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if let [mode, dir] = args.as_slice() {
         if mode == "corpus" {
             dump_corpus(dir);
+            return;
+        }
+        if mode == "golden" {
+            write_goldens(dir);
+            return;
+        }
+    }
+    if let [mode, start, end] = args.as_slice() {
+        if mode == "roundtrip" {
+            let (start, end): (u64, u64) = (
+                start.parse().expect("numeric seed"),
+                end.parse().expect("numeric seed"),
+            );
+            let mut failures = 0;
+            for seed in start..end {
+                if let Err(e) = roundtrip_seed(seed, 12, 12) {
+                    failures += 1;
+                    eprintln!("seed {}: {}", seed, e);
+                }
+            }
+            println!(
+                "round-tripped {} seeds through the wire format, {} failures",
+                end - start,
+                failures
+            );
+            if failures > 0 {
+                std::process::exit(1);
+            }
             return;
         }
     }
@@ -121,6 +225,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        _ => eprintln!("usage: showseed <seed> | showseed <start> <end> | showseed corpus <dir>"),
+        _ => eprintln!(
+            "usage: showseed <seed> | showseed <start> <end> | showseed corpus <dir> \
+             | showseed golden <dir> | showseed roundtrip <start> <end>"
+        ),
     }
 }

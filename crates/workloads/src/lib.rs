@@ -9,6 +9,7 @@
 
 mod benchmarks;
 pub mod fuzz;
+pub mod golden;
 
 pub use benchmarks::{
     adpcm, all, bitcoin, by_name, df, input_data, mips32, nw, regex, Benchmark, Style,

@@ -7,9 +7,9 @@
 use proptest::prelude::*;
 use synergy::codegen::{compile as codegen_compile, CompiledSim, Tier};
 use synergy::interp::{BufferEnv, Interpreter};
-use synergy::runtime::{EnginePolicy, ExecMode};
+use synergy::runtime::{CheckpointError, EnginePolicy, ExecMode};
 use synergy::vlog::{parse, parser, printer, Bits};
-use synergy::workloads::generate_fuzz_design;
+use synergy::workloads::{fuzz_input_data, generate_fuzz_design};
 use synergy::{BitstreamCache, Device, Runtime};
 
 proptest! {
@@ -318,6 +318,102 @@ proptest! {
         let mut restored = CompiledSim::with_tier(prog, Tier::RegAlloc).unwrap();
         restored.restore_state(&snapshot);
         prop_assert_eq!(restored.save_state(), snapshot);
+    }
+
+    /// The durable checkpoint codec is the identity on random designs across
+    /// all three engines: a runtime checkpointed mid-run restores to
+    /// bit-identical state, continues in lockstep with the uninterrupted
+    /// lineage (stream positions, RNG, and output included), and re-encodes
+    /// to byte-identical checkpoint bytes.
+    #[test]
+    fn runtime_checkpoints_round_trip_on_random_designs(
+        seed in any::<u64>(),
+        engine in 0usize..3,
+        warmup in 1u64..10,
+        rest in 1u64..10,
+    ) {
+        let d = generate_fuzz_design(seed);
+        let (policy, tier) = match engine {
+            0 => (EnginePolicy::Interpreter, Tier::RegAlloc),
+            1 => (EnginePolicy::Auto, Tier::Stack),
+            _ => (EnginePolicy::Auto, Tier::RegAlloc),
+        };
+        let mut rt = Runtime::with_policy(
+            format!("fuzz{}", seed), &d.source, &d.top, &d.clock, policy,
+        ).unwrap();
+        rt.set_compiled_tier(tier).unwrap();
+        if let Some(path) = &d.input_path {
+            rt.add_file(path.clone(), fuzz_input_data(seed, (warmup + rest) as usize));
+        }
+        if rt.run_ticks(warmup).is_err() {
+            // Designs every engine rejects identically are covered by the
+            // differential fuzz suite.
+            return;
+        }
+        let bytes = rt.save_checkpoint();
+        let mut restored = Runtime::restore_checkpoint(&bytes).unwrap();
+        prop_assert_eq!(restored.mode(), rt.mode());
+        prop_assert_eq!(restored.peek_state(), rt.peek_state());
+        prop_assert_eq!(
+            restored.save_checkpoint(),
+            bytes.clone(),
+            "decode → encode must be the identity"
+        );
+
+        let a = rt.run_ticks(rest);
+        let b = restored.run_ticks(rest);
+        match (&a, &b) {
+            (Ok(_), Ok(_)) => {}
+            (Err(x), Err(y)) => {
+                prop_assert_eq!(x.to_string(), y.to_string(), "error parity after restore");
+                return;
+            }
+            _ => prop_assert!(false, "one lineage errored, the other did not: {:?} vs {:?}", a, b),
+        }
+        prop_assert_eq!(restored.peek_state(), rt.peek_state());
+        prop_assert_eq!(restored.env.output_text(), rt.env.output_text());
+        prop_assert_eq!(restored.now_ns(), rt.now_ns());
+    }
+
+    /// Corrupting a checkpoint — truncation at *every* byte boundary, or a
+    /// bit flip anywhere — always yields a typed decode error, never a panic
+    /// and never a silently wrong runtime.
+    #[test]
+    fn checkpoint_corruption_yields_typed_errors_never_panics(
+        seed in any::<u64>(),
+        ticks in 1u64..6,
+        flip_bit in 0usize..8,
+    ) {
+        let d = generate_fuzz_design(seed);
+        let mut rt = Runtime::new(format!("fuzz{}", seed), &d.source, &d.top, &d.clock).unwrap();
+        if let Some(path) = &d.input_path {
+            rt.add_file(path.clone(), fuzz_input_data(seed, ticks as usize));
+        }
+        let _ = rt.run_ticks(ticks);
+        let bytes = rt.save_checkpoint();
+
+        // Truncation at every boundary.
+        for len in 0..bytes.len() {
+            match Runtime::restore_checkpoint(&bytes[..len]) {
+                Err(CheckpointError::Decode(_)) => {}
+                other => prop_assert!(
+                    false,
+                    "truncation at {} must be a typed decode error, got {:?}",
+                    len,
+                    other.map(|_| "a runtime")
+                ),
+            }
+        }
+        // A bit flip at every byte (the CRC trailer catches them all).
+        for byte in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[byte] ^= 1 << flip_bit;
+            prop_assert!(matches!(
+                Runtime::restore_checkpoint(&bad),
+                Err(CheckpointError::Decode(_))
+            ), "flip at byte {} bit {} must be rejected", byte, flip_bit);
+        }
+        prop_assert!(Runtime::restore_checkpoint(&bytes).is_ok(), "pristine bytes still decode");
     }
 
     /// State capture and restore is lossless for arbitrary register contents.

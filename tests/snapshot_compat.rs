@@ -1,0 +1,241 @@
+//! The CI `snapshot-compat` gate: wire-format compatibility against the
+//! committed golden checkpoints, plus the live-migration ⇄ wire-format
+//! differential the ISSUE's acceptance criteria name.
+//!
+//! The goldens under `tests/golden/` are durable checkpoints of every
+//! Table-1 workload on both compiled-engine tiers, captured by the shared
+//! recipe in `synergy_workloads::golden` (regenerate deliberately with
+//! `cargo run -p synergy-workloads --example showseed -- golden
+//! tests/golden`). Restoring them here — from bytes produced by an *older
+//! build* — and comparing against a freshly fast-forwarded run catches any
+//! drift in the wire format, the engines, or the workloads. A wire-format
+//! version bump fails this gate with a typed `UnknownVersion` error until
+//! the goldens are regenerated.
+
+use synergy::hv::SchedPolicy;
+use synergy::snapshot::{crc32, SnapshotError, VERSION};
+use synergy::workloads::golden::{
+    golden_file_name, golden_matrix, golden_runtime, GOLDEN_RESUME_TICKS,
+};
+use synergy::{
+    CheckpointError, Cluster, CompiledTier, Device, DomainId, EnginePolicy, ExecMode, Runtime,
+    Style,
+};
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn golden_bytes(name: &str) -> Vec<u8> {
+    let path = golden_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {:?} ({}); regenerate with \
+             `cargo run -p synergy-workloads --example showseed -- golden tests/golden`",
+            path, e
+        )
+    })
+}
+
+/// Every committed golden restores, and the resumed run is bit-identical to
+/// a fresh run fast-forwarded to the same tick.
+#[test]
+fn goldens_restore_bit_identically_to_fresh_runs() {
+    for (bench, tier) in golden_matrix() {
+        let bytes = golden_bytes(&golden_file_name(&bench, tier));
+        let mut restored = Runtime::restore_checkpoint(&bytes).unwrap_or_else(|e| {
+            panic!(
+                "golden {} ({:?}) no longer decodes: {}; a deliberate format bump must \
+                 regenerate the goldens",
+                bench.name, tier, e
+            )
+        });
+        assert_eq!(restored.mode(), ExecMode::Compiled);
+        assert_eq!(restored.compiled_tier(), Some(tier));
+
+        // The uninterrupted reference: the exact golden recipe, never
+        // serialized, fast-forwarded to the same tick.
+        let mut fresh = golden_runtime(&bench, tier).unwrap();
+        assert_eq!(restored.ticks(), fresh.ticks());
+        assert_eq!(
+            restored.peek_state(),
+            fresh.peek_state(),
+            "{} ({:?}): restored state differs at the capture tick",
+            bench.name,
+            tier
+        );
+
+        restored.run_ticks(GOLDEN_RESUME_TICKS).unwrap();
+        fresh.run_ticks(GOLDEN_RESUME_TICKS).unwrap();
+        assert_eq!(
+            restored.peek_state(),
+            fresh.peek_state(),
+            "{} ({:?}): resumed run diverges from the fast-forwarded fresh run",
+            bench.name,
+            tier
+        );
+        assert_eq!(restored.now_ns(), fresh.now_ns());
+        assert_eq!(
+            restored.env.output_text(),
+            fresh.env.output_text(),
+            "{} ({:?}): output diverges",
+            bench.name,
+            tier
+        );
+        assert_eq!(
+            restored.get_bits(&bench.metric_var).unwrap(),
+            fresh.get_bits(&bench.metric_var).unwrap(),
+        );
+    }
+}
+
+/// The gate demonstrably fails on a corrupted golden — with a typed error,
+/// not a panic — and on a version bump.
+#[test]
+fn corrupted_and_version_bumped_goldens_are_rejected() {
+    let (bench, tier) = golden_matrix().remove(0);
+    let bytes = golden_bytes(&golden_file_name(&bench, tier));
+
+    // Deliberate corruption: flip one payload bit.
+    let mut corrupt = bytes.clone();
+    corrupt[bytes.len() / 2] ^= 0x01;
+    assert!(
+        matches!(
+            Runtime::restore_checkpoint(&corrupt),
+            Err(CheckpointError::Decode(SnapshotError::Corrupt { .. }))
+        ),
+        "a corrupted golden must fail the gate with a typed CRC error"
+    );
+
+    // Truncation at several boundaries.
+    for len in [0, 8, 16, bytes.len() - 1] {
+        assert!(matches!(
+            Runtime::restore_checkpoint(&bytes[..len]),
+            Err(CheckpointError::Decode(
+                SnapshotError::Truncated { .. } | SnapshotError::Corrupt { .. }
+            ))
+        ));
+    }
+
+    // A future format version is rejected by name, which is what forces a
+    // deliberate golden regeneration after a bump. (Re-seal the CRC so the
+    // version check, not the checksum, fires.)
+    let mut future = bytes.clone();
+    future[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    let crc_at = future.len() - 4;
+    let crc = crc32(&future[..crc_at]);
+    future[crc_at..].copy_from_slice(&crc.to_le_bytes());
+    assert!(matches!(
+        Runtime::restore_checkpoint(&future),
+        Err(CheckpointError::Decode(SnapshotError::UnknownVersion(v))) if v == VERSION + 1
+    ));
+}
+
+/// `Cluster::live_migrate` (through the wire format) is bit-identical to
+/// in-process migration on every Table-1 workload × both compiled tiers —
+/// the tenant rides the compiled engine of the requested tier on the source
+/// node and lands on hardware on the target node, exactly like `migrate`.
+#[test]
+fn live_migrate_matches_in_process_migration_on_all_workloads_and_tiers() {
+    for (bench, tier) in golden_matrix() {
+        let build = || {
+            let mut cluster = Cluster::new();
+            cluster.set_engine_policy(EnginePolicy::Auto);
+            cluster.set_compiled_tier(tier);
+            // Parallel rounds on the source node: checkpoint/migration
+            // correctness must be independent of the scheduling policy.
+            cluster.set_sched_policy(SchedPolicy::Parallel { workers: 2 });
+            let src = cluster.add_node(Device::de10());
+            let dst = cluster.add_node(Device::f1());
+            let mut rt =
+                Runtime::new(bench.name.clone(), &bench.source, &bench.top, &bench.clock).unwrap();
+            if let Some(path) = &bench.input_path {
+                rt.add_file(
+                    path.clone(),
+                    synergy::workloads::input_data(&bench.name, 2048),
+                );
+            }
+            rt.run_ticks(2).unwrap();
+            let io_bound = bench.style == Style::Streaming;
+            let app = cluster.node_mut(src).connect(rt, DomainId(1), io_bound);
+            assert_eq!(
+                cluster.node(src).app(app).unwrap().compiled_tier(),
+                Some(tier),
+                "{}: tenant must ride the requested tier before migration",
+                bench.name
+            );
+            cluster.node_mut(src).run_round(0.0002).unwrap();
+            (cluster, src, dst, app, io_bound)
+        };
+
+        let (mut in_proc, src_a, dst_a, app_a, io_bound) = build();
+        let (mut wire, src_b, dst_b, app_b, _) = build();
+        let (new_a, out_a) = in_proc
+            .migrate(src_a, app_a, dst_a, DomainId(2), io_bound)
+            .unwrap();
+        let (new_b, out_b) = wire
+            .live_migrate(src_b, app_b, dst_b, DomainId(2), io_bound)
+            .unwrap();
+        assert_eq!(out_a, out_b, "{} ({:?})", bench.name, tier);
+        assert_eq!(
+            in_proc.node(dst_a).app(new_a).unwrap().peek_state(),
+            wire.node(dst_b).app(new_b).unwrap().peek_state(),
+            "{} ({:?}): post-migration snapshots differ",
+            bench.name,
+            tier
+        );
+
+        // And the runs stay in lockstep on the target node.
+        let stats_a = in_proc.node_mut(dst_a).run_round(0.0002).unwrap();
+        let stats_b = wire.node_mut(dst_b).run_round(0.0002).unwrap();
+        assert_eq!(stats_a, stats_b, "{} ({:?})", bench.name, tier);
+        assert_eq!(
+            in_proc.node(dst_a).app(new_a).unwrap().peek_state(),
+            wire.node(dst_b).app(new_b).unwrap().peek_state(),
+            "{} ({:?}): post-round snapshots differ",
+            bench.name,
+            tier
+        );
+        assert_eq!(
+            in_proc.node(dst_a).app(new_a).unwrap().now_ns(),
+            wire.node(dst_b).app(new_b).unwrap().now_ns(),
+        );
+    }
+}
+
+/// A fleet checkpoint written to disk restores in a "new process"
+/// (byte-for-byte through the filesystem) with the scheduler state intact —
+/// the crash-recovery flow.
+#[test]
+fn fleet_checkpoints_survive_the_filesystem() {
+    use synergy::{Hypervisor, SynergyVm};
+
+    let mut vm = SynergyVm::new();
+    vm.set_stream_len(1024);
+    vm.set_engine_policy(EnginePolicy::Auto);
+    vm.set_compiled_tier(CompiledTier::RegAlloc);
+    let node = vm.add_device(Device::f1());
+    let a = vm.launch_benchmark(node, "bitcoin", false).unwrap();
+    let b = vm.launch_benchmark(node, "regex", false).unwrap();
+    vm.deploy(node, a).unwrap();
+    vm.run_round(node, 0.0002).unwrap();
+
+    let dir = std::env::temp_dir().join("synergy_fleet_ckpt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fleet.ckpt");
+    std::fs::write(&path, vm.cluster().node(node).checkpoint_fleet()).unwrap();
+
+    let bytes = std::fs::read(&path).unwrap();
+    let mut recovered = Hypervisor::new(Device::f1());
+    recovered.restore_fleet(&bytes).unwrap();
+    for app in [a, b] {
+        assert_eq!(
+            recovered.app(app).unwrap().peek_state(),
+            vm.cluster().node(node).app(app).unwrap().peek_state(),
+        );
+    }
+    let s1 = vm.run_round(node, 0.0002).unwrap();
+    let s2 = recovered.run_round(0.0002).unwrap();
+    assert_eq!(s1, s2, "post-recovery rounds are bit-identical");
+    std::fs::remove_file(&path).ok();
+}
