@@ -8,13 +8,17 @@
 //!   tentpole win) *and* the regalloc tier's `regalloc_over_stack` ratio
 //!   over the stack-bytecode tier (PR 4's tentpole win);
 //! * `BENCH_hv_scaling.json` — the parallel scheduler's model speedup for
-//!   the 8-worker / 32-tenant mixed fleet (PR 3's tentpole win).
+//!   the 8-worker / 32-tenant mixed fleet (PR 3's tentpole win);
+//! * `BENCH_telemetry.json` — the telemetry subsystem's overhead budget:
+//!   enabling metrics + the flight recorder may not slow the regalloc-tier
+//!   hot loop by more than `allowed_overhead` (a hard bound, zero
+//!   tolerance — see [`run_checks`]).
 //!
 //! Only *ratios* are compared — absolute ticks/sec vary wildly across CI
 //! runners, but the compiled/interpreted and parallel/sequential ratios are
-//! machine-stable. A metric that drops more than [`TOLERANCE`] below its
-//! baseline fails the gate (exit code 1); the comparison table prints either
-//! way.
+//! machine-stable. A metric that drops more than its tolerance (usually
+//! [`TOLERANCE`]) below its baseline fails the gate (exit code 1); the
+//! comparison table prints either way.
 //!
 //! `SYNERGY_REGRESS_HANDICAP=<factor>` divides every measured ratio — the
 //! knob used to verify the gate actually fails on an artificially slowed
@@ -36,6 +40,9 @@ pub struct Check {
     pub baseline: f64,
     /// Freshly measured value.
     pub measured: f64,
+    /// Allowed fractional drop below baseline for *this* check (most checks
+    /// use [`TOLERANCE`]; hard budgets like the telemetry overhead use 0.0).
+    pub tolerance: f64,
 }
 
 impl Check {
@@ -44,9 +51,9 @@ impl Check {
         self.measured / self.baseline.max(1e-9)
     }
 
-    /// `true` if the metric regressed beyond the tolerance.
+    /// `true` if the metric regressed beyond the check's tolerance.
     pub fn regressed(&self) -> bool {
-        self.ratio() < 1.0 - TOLERANCE
+        self.ratio() < 1.0 - self.tolerance
     }
 }
 
@@ -118,11 +125,81 @@ fn measure_ticks_ns(
         .expect("at least one rep")
 }
 
+/// Measures the fractional slowdown of enabling telemetry on the regalloc
+/// compiled tier: `calls` [`synergy::Runtime::run_ticks`]`(batch)` calls
+/// timed with telemetry on vs off, as the median of `reps` paired ratios.
+///
+/// `batch` mirrors the hypervisor's call shape: `run_round` hands each
+/// tenant one `run_ticks(tick_budget)` call per round, so the per-call
+/// `note_run` epilogue (counter deltas, histogram observe) amortises over a
+/// round's budget, never over a single tick. Each rep times an off/on pair
+/// back-to-back (alternating order) and contributes one on/off ratio; the
+/// median of the paired ratios cancels frequency scaling, thermal drift,
+/// and contention spikes that a ratio-of-minimums would inherit from
+/// whichever phase a spike happened to land on.
+fn measure_telemetry_overhead(
+    bench: &synergy::Benchmark,
+    calls: u64,
+    batch: u64,
+    reps: usize,
+) -> f64 {
+    let one_run = |on: bool| {
+        let mut rt = synergy::Runtime::with_policy(
+            bench.name.clone(),
+            &bench.source,
+            &bench.top,
+            &bench.clock,
+            synergy::EnginePolicy::Compiled,
+        )
+        .expect("workload compiles");
+        rt.set_compiled_tier(synergy::CompiledTier::RegAlloc)
+            .expect("workload lowers to the regalloc tier");
+        if let Some(path) = &bench.input_path {
+            rt.add_file(
+                path.clone(),
+                synergy::workloads::input_data(&bench.name, 8 * (calls * batch) as usize),
+            );
+        }
+        synergy::telemetry::set_enabled(on);
+        let start = Instant::now();
+        for _ in 0..calls {
+            rt.run_ticks(batch).expect("ticks");
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        synergy::telemetry::set_enabled(false);
+        elapsed
+    };
+    let mut ratios: Vec<f64> = (0..reps)
+        .map(|rep| {
+            let (off, on) = if rep % 2 == 0 {
+                let off = one_run(false);
+                let on = one_run(true);
+                (off, on)
+            } else {
+                let on = one_run(true);
+                let off = one_run(false);
+                (off, on)
+            };
+            on as f64 / off.max(1) as f64
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    ratios[ratios.len() / 2]
+}
+
 /// Runs every gate check against the committed baselines.
 ///
-/// `interp_vs_compiled` / `hv_scaling` are the baseline JSON texts (the
-/// caller reads the files so the bin controls paths and error reporting).
-pub fn run_checks(interp_vs_compiled: &str, hv_scaling: &str) -> Vec<Check> {
+/// `interp_vs_compiled` / `hv_scaling` / `telemetry` are the baseline JSON
+/// texts (the caller reads the files so the bin controls paths and error
+/// reporting).
+///
+/// The telemetry check inverts the usual direction: `baseline` is the
+/// *measured* overhead of enabling telemetry (clamped to ≥ 1.0) and
+/// `measured` is the committed `allowed_overhead` budget, so the gate fails
+/// — with zero tolerance — exactly when the measured overhead exceeds the
+/// budget. The handicap divides the budget, which verifiably forces a
+/// failure.
+pub fn run_checks(interp_vs_compiled: &str, hv_scaling: &str, telemetry: &str) -> Vec<Check> {
     let handicap = handicap();
     let mut checks = Vec::new();
 
@@ -150,6 +227,7 @@ pub fn run_checks(interp_vs_compiled: &str, hv_scaling: &str) -> Vec<Check> {
             name: format!("interp_vs_compiled/{}", workload),
             baseline,
             measured: interp_ns as f64 / regalloc_ns.max(1) as f64 / handicap,
+            tolerance: TOLERANCE,
         });
         // The regalloc tier must also hold its ratio over the stack tier
         // (this PR's tentpole win).
@@ -159,6 +237,7 @@ pub fn run_checks(interp_vs_compiled: &str, hv_scaling: &str) -> Vec<Check> {
             name: format!("compiled_vs_regalloc/{}", workload),
             baseline: baseline_tiers,
             measured: stack_ns as f64 / regalloc_ns.max(1) as f64 / handicap,
+            tolerance: TOLERANCE,
         });
     }
 
@@ -170,6 +249,21 @@ pub fn run_checks(interp_vs_compiled: &str, hv_scaling: &str) -> Vec<Check> {
         name: "hv_scaling/model_speedup_8w_32t".into(),
         baseline: baseline_scaling,
         measured,
+        tolerance: TOLERANCE,
+    });
+
+    let allowed =
+        num_field(telemetry, "allowed_overhead").expect("telemetry baseline has allowed_overhead");
+    let bench = synergy::workloads::by_name("nw").expect("nw workload exists");
+    // 64-tick batches: the smallest round budget the hypervisor plausibly
+    // hands out (round_tick_cap is 512 by default), i.e. the *most*
+    // epilogue-heavy realistic shape.
+    let overhead = measure_telemetry_overhead(&bench, 100, 64, 7);
+    checks.push(Check {
+        name: "telemetry/regalloc_overhead_budget".into(),
+        baseline: overhead.max(1.0),
+        measured: allowed / handicap,
+        tolerance: 0.0,
     });
 
     checks
@@ -209,17 +303,40 @@ mod tests {
             name: "m".into(),
             baseline: 10.0,
             measured: 7.6,
+            tolerance: TOLERANCE,
         };
         assert!(!ok.regressed());
         let bad = Check {
             name: "m".into(),
             baseline: 10.0,
             measured: 7.4,
+            tolerance: TOLERANCE,
         };
         assert!(bad.regressed());
         let table = checks_table(&[ok, bad]);
         assert!(table.contains("REGRESSED"));
         assert!(table.contains("ok"));
+    }
+
+    #[test]
+    fn hard_budget_checks_fail_on_any_overrun() {
+        // The telemetry overhead check: baseline is the measured overhead,
+        // measured is the budget, tolerance is zero — the slightest overrun
+        // regresses.
+        let within = Check {
+            name: "telemetry/regalloc_overhead_budget".into(),
+            baseline: 1.01,
+            measured: 1.03,
+            tolerance: 0.0,
+        };
+        assert!(!within.regressed());
+        let overrun = Check {
+            name: "telemetry/regalloc_overhead_budget".into(),
+            baseline: 1.05,
+            measured: 1.03,
+            tolerance: 0.0,
+        };
+        assert!(overrun.regressed());
     }
 
     #[test]

@@ -87,6 +87,13 @@ struct State {
     time: u64,
     finished: Option<u32>,
     initials_run: bool,
+    /// Telemetry counters (never part of `save_state`): cumulative settle
+    /// evaluate/update rounds and worklist nodes drained by `propagate`.
+    settle_iters: u64,
+    worklist_drains: u64,
+    /// Postmortem detail captured when the settle cap fires (the error
+    /// message itself stays engine-identical).
+    fault: Option<String>,
 }
 
 /// The execution backend behind [`CompiledSim`].
@@ -94,6 +101,25 @@ struct State {
 enum Backend {
     Stack(Box<State>),
     Word(Box<WordMachine>),
+}
+
+/// Cumulative executor-internal telemetry counters, tier-agnostic.
+///
+/// These count *work performed* (which is deterministic for a given program
+/// and input), not host time. The runtime diffs them around each `run_ticks`
+/// call and feeds the deltas into the deterministic metrics namespace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Evaluate/update rounds executed by `settle`.
+    pub settle_iters: u64,
+    /// Combinational worklist nodes drained by `propagate`.
+    pub worklist_drains: u64,
+    /// Guard scans skipped by the regalloc tier's write-epoch check (always
+    /// 0 on the stack tier).
+    pub guard_epoch_skips: u64,
+    /// Register-arena footprint of the regalloc tier (word + wide + net
+    /// slots; 0 on the stack tier).
+    pub arena_regs: u64,
 }
 
 /// A compiled design plus its execution state: the compiled software engine.
@@ -454,6 +480,9 @@ impl State {
             time: 0,
             finished: None,
             initials_run: false,
+            settle_iters: 0,
+            worklist_drains: 0,
+            fault: None,
         };
         for pos in 0..prog.comb.len() {
             mark_comb(&mut st, pos as u32);
@@ -480,6 +509,7 @@ impl State {
         for lvl in 0..self.comb_pending.len() {
             while let Some(pos) = self.comb_pending[lvl].pop() {
                 self.pending_count -= 1;
+                self.worklist_drains += 1;
                 if let Err(e) = exec(prog, self, &prog.comb[pos as usize].code, env) {
                     // Keep the worklist invariant (dirty nodes stay queued).
                     self.comb_pending[lvl].push(pos);
@@ -606,8 +636,17 @@ impl State {
 
     /// Runs evaluate/update until no more updates are pending.
     fn settle(&mut self, prog: &CompiledProgram, env: &mut dyn SystemEnv) -> VlogResult<()> {
-        for _ in 0..MAX_SETTLE_ITERS {
+        for iter in 0..MAX_SETTLE_ITERS {
             self.evaluate(prog, env)?;
+            self.settle_iters += 1;
+            if iter + 1 == MAX_SETTLE_ITERS && !self.nb.is_empty() {
+                // About to hit the cap: capture the still-pending targets for
+                // the postmortem before the final update drains the queue.
+                self.fault =
+                    Some(synergy_interp::fault_from_targets(self.nb.iter().map(
+                        |(site, _)| prog.nb_site_names[*site as usize].as_str(),
+                    )));
+            }
             if !self.update(prog, env)? {
                 return Ok(());
             }
@@ -818,6 +857,32 @@ impl CompiledSim {
         match &mut self.backend {
             Backend::Stack(st) => std::mem::take(&mut st.effects),
             Backend::Word(wm) => wm.take_effects(),
+        }
+    }
+
+    /// Cumulative executor-internal telemetry counters (observability only —
+    /// excluded from `save_state`/`restore_state` and every wire format).
+    pub fn exec_counters(&self) -> ExecCounters {
+        match &self.backend {
+            Backend::Stack(st) => ExecCounters {
+                settle_iters: st.settle_iters,
+                worklist_drains: st.worklist_drains,
+                guard_epoch_skips: 0,
+                arena_regs: 0,
+            },
+            Backend::Word(wm) => wm.exec_counters(),
+        }
+    }
+
+    /// Executor-specific detail for the most recent settle-cap failure: the
+    /// non-blocking targets that never converged. `None` until such a
+    /// failure occurs. The error message itself stays engine-identical; this
+    /// side channel is what names the failing always-block site in
+    /// postmortems.
+    pub fn fault_detail(&self) -> Option<&str> {
+        match &self.backend {
+            Backend::Stack(st) => st.fault.as_deref(),
+            Backend::Word(wm) => wm.fault_detail(),
         }
     }
 

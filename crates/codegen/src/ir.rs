@@ -454,6 +454,9 @@ pub struct CompiledProgram {
     /// Store programs for non-blocking / `$fread` targets; each starts from
     /// the value register.
     pub(crate) nb_sites: Vec<Code>,
+    /// Source-level target names per `nb_sites` entry, for settle-cap
+    /// postmortems ("which always-block site never converged").
+    pub(crate) nb_site_names: Vec<String>,
     pub(crate) n_temps: u32,
     pub(crate) n_loops: u32,
 }

@@ -92,7 +92,7 @@ mod lower;
 mod regalloc;
 mod wordexec;
 
-pub use exec::CompiledSim;
+pub use exec::{CompiledSim, ExecCounters};
 pub use ir::{
     binary, concat, slice, unary, word_binary, word_unary, AlwaysProg, Code, CombNode,
     CompiledProgram, MemDecl, NetDecl, Op, SlotRef, Val, MAX_LOOP_ITERS,

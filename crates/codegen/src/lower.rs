@@ -48,6 +48,7 @@ pub fn lower(module: &ElabModule) -> VlogResult<CompiledProgram> {
         always,
         initials,
         nb_sites: lw.nb_sites,
+        nb_site_names: lw.nb_site_names,
         n_temps: lw.n_temps,
         n_loops: lw.n_loops,
     })
@@ -72,6 +73,7 @@ struct Lowerer<'a> {
     strings: Vec<String>,
     effects: Vec<TaskEffect>,
     nb_sites: Vec<Code>,
+    nb_site_names: Vec<String>,
     n_temps: u32,
     n_loops: u32,
     /// Compile-time bindings for enclosing unrolled-loop induction variables;
@@ -91,6 +93,7 @@ impl<'a> Lowerer<'a> {
             strings: Vec::new(),
             effects: Vec::new(),
             nb_sites: Vec::new(),
+            nb_site_names: Vec::new(),
             n_temps: 0,
             n_loops: 0,
             unroll_env: Vec::new(),
@@ -426,6 +429,7 @@ impl<'a> Lowerer<'a> {
                 self.unroll_env = saved_env;
                 result?;
                 self.nb_sites.push(store);
+                self.nb_site_names.push(a.lhs.targets().join(","));
                 code.push(Op::NbSchedule((self.nb_sites.len() - 1) as u32));
             }
             Stmt::If { cond, then, other } => {

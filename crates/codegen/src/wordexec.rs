@@ -268,6 +268,12 @@ struct WState {
     time: u64,
     finished: Option<u32>,
     initials_run: bool,
+    /// Telemetry counters and settle-cap fault detail. Observability only:
+    /// never part of `save_state`/`restore_state` or any wire format.
+    settle_iters: u64,
+    worklist_drains: u64,
+    guard_epoch_skips: u64,
+    fault: Option<String>,
 }
 
 /// The regalloc-tier machine: translated programs plus execution state.
@@ -517,6 +523,10 @@ impl WordMachine {
             time: 0,
             finished: None,
             initials_run: false,
+            settle_iters: 0,
+            worklist_drains: 0,
+            guard_epoch_skips: 0,
+            fault: None,
         };
         let (net_dep_off, net_dep_flat) = flatten_deps(&prog.net_deps, &prog.net_driver);
         let (mem_dep_off, mem_dep_flat) = flatten_deps(&prog.mem_deps, &prog.mem_driver);
@@ -657,6 +667,21 @@ impl WordMachine {
         self.st.initials_run = true;
     }
 
+    /// Cumulative telemetry counters (see `CompiledSim::exec_counters`).
+    pub(crate) fn exec_counters(&self) -> crate::exec::ExecCounters {
+        crate::exec::ExecCounters {
+            settle_iters: self.st.settle_iters,
+            worklist_drains: self.st.worklist_drains,
+            guard_epoch_skips: self.st.guard_epoch_skips,
+            arena_regs: (self.st.net_w.len() + self.st.words.len() + self.st.bigs.len()) as u64,
+        }
+    }
+
+    /// Settle-cap fault detail (see `CompiledSim::fault_detail`).
+    pub(crate) fn fault_detail(&self) -> Option<&str> {
+        self.st.fault.as_deref()
+    }
+
     /// Re-evaluates dirty combinational cones, draining the level-bucketed
     /// worklist in ascending level order.
     fn propagate(&mut self, prog: &CompiledProgram, env: &mut dyn SystemEnv) -> VlogResult<()> {
@@ -666,6 +691,7 @@ impl WordMachine {
         for lvl in 0..self.wp.n_levels {
             while let Some(pos) = self.st.pending[lvl].pop() {
                 self.st.pending_count -= 1;
+                self.st.worklist_drains += 1;
                 match &self.wp.comb[pos as usize] {
                     WComb::CopyNet { src, dst, mask } => {
                         let new = self.st.net_w[*src as usize] & mask;
@@ -722,6 +748,7 @@ impl WordMachine {
         // re-read the same values, fire nothing, and store back the same
         // previous values — skip the whole scan.
         if self.st.write_epoch == self.st.guard_epoch {
+            self.st.guard_epoch_skips += 1;
             return Ok(());
         }
         self.st.guard_epoch = self.st.write_epoch;
@@ -888,8 +915,15 @@ impl WordMachine {
         prog: &CompiledProgram,
         env: &mut dyn SystemEnv,
     ) -> VlogResult<()> {
-        for _ in 0..MAX_SETTLE_ITERS {
+        for iter in 0..MAX_SETTLE_ITERS {
             self.evaluate(prog, env)?;
+            self.st.settle_iters += 1;
+            if iter + 1 == MAX_SETTLE_ITERS && !self.st.nb.is_empty() {
+                self.st.fault =
+                    Some(synergy_interp::fault_from_targets(self.st.nb.iter().map(
+                        |(site, _)| prog.nb_site_names[*site as usize].as_str(),
+                    )));
+            }
             if !self.update(prog, env)? {
                 return Ok(());
             }

@@ -51,6 +51,7 @@ pub use synergy_hv as hv;
 pub use synergy_interp as interp;
 pub use synergy_runtime as runtime;
 pub use synergy_snapshot as snapshot;
+pub use synergy_telemetry as telemetry;
 pub use synergy_transform as transform;
 pub use synergy_vlog as vlog;
 pub use synergy_workloads as workloads;
@@ -63,6 +64,7 @@ pub use synergy_runtime::{
     CheckpointError, CompiledTier, EnginePolicy, ExecMode, Runtime, RuntimeEvent,
 };
 pub use synergy_snapshot::SnapshotError;
+pub use synergy_telemetry::{FlightRecorder, Namespace, Registry, Telemetry};
 pub use synergy_transform::{transform as transform_design, TransformOptions, Transformed};
 pub use synergy_vlog::{Bits, VlogError};
 pub use synergy_workloads::{Benchmark, Style};

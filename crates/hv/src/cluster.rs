@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use synergy_amorphos::DomainId;
 use synergy_fpga::{BitstreamCache, Device};
 use synergy_runtime::{CompiledTier, EnginePolicy, Runtime};
+use synergy_telemetry::{Namespace, Registry};
 
 /// Identifies a node (one device + hypervisor) within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -118,6 +119,18 @@ impl Cluster {
         &mut self.nodes[id.0]
     }
 
+    /// A fleet-wide metrics snapshot: every node's [`Hypervisor::metrics`]
+    /// registry merged under a `node=<index>` label. The deterministic
+    /// namespace inherits the per-node contract — bit-identical across
+    /// scheduling policies for the same fleet and rounds.
+    pub fn metrics(&self) -> Registry {
+        let mut out = Registry::default();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            out.merge_labeled(&node.metrics(), "node", &idx.to_string());
+        }
+        out
+    }
+
     /// Migrates a running application from one node to another *in process*:
     /// the source node suspends it (state capture through `$save`-style get
     /// requests), the target node deploys the same program and restores the
@@ -186,6 +199,37 @@ impl Cluster {
         let target = self.node_mut(to);
         let new_id = target.connect(restored, domain, io_bound);
         let outcome = target.deploy(new_id)?;
+        // Downtime is the simulated latency of re-admission on the target —
+        // deterministic (virtual) time, so it lives in the Det namespace on
+        // the node that now hosts the tenant.
+        if synergy_telemetry::enabled() {
+            let rounds = target.rounds();
+            let t = target.telemetry_mut();
+            t.registry
+                .counter_add(Namespace::Det, "cluster_migrations_total", &[], 1);
+            t.registry.counter_add(
+                Namespace::Det,
+                "cluster_migration_bytes_total",
+                &[],
+                wire.len() as u64,
+            );
+            t.registry.counter_add(
+                Namespace::Det,
+                "cluster_migration_downtime_ns_total",
+                &[],
+                outcome.latency_ns,
+            );
+            t.recorder.record(
+                rounds,
+                "live_migrate_in",
+                format!(
+                    "app={} bytes={} downtime_ns={}",
+                    new_id.0,
+                    wire.len(),
+                    outcome.latency_ns
+                ),
+            );
+        }
         Ok((new_id, outcome))
     }
 
@@ -218,7 +262,29 @@ impl Cluster {
                     let node = &mut self.nodes[idx];
                     let new_id = node.connect(rt, domain, io_bound);
                     match node.deploy(new_id) {
-                        Ok(outcome) => return Ok((NodeId(idx), new_id, outcome)),
+                        Ok(outcome) => {
+                            // Placement decision: the preferred node was
+                            // full and this one took the tenant.
+                            if synergy_telemetry::enabled() {
+                                let rounds = node.rounds();
+                                let t = node.telemetry_mut();
+                                t.registry.counter_add(
+                                    Namespace::Det,
+                                    "cluster_delegations_total",
+                                    &[],
+                                    1,
+                                );
+                                t.recorder.record(
+                                    rounds,
+                                    "delegated_placement",
+                                    format!(
+                                        "app={} preferred_node={} placed_node={}",
+                                        new_id.0, preferred.0, idx
+                                    ),
+                                );
+                            }
+                            return Ok((NodeId(idx), new_id, outcome));
+                        }
                         Err(e) => {
                             last_err = e;
                             runtime = Some(node.disconnect(new_id)?);

@@ -78,18 +78,27 @@ struct PoolShared {
     unclaimed: Mutex<usize>,
     work_ready: Condvar,
     shutdown: AtomicBool,
-    /// Telemetry: jobs executed and successful steals since pool creation.
+    /// Telemetry: jobs executed, successful steals, and condvar park
+    /// transitions since pool creation.
     executed: AtomicU64,
     steals: AtomicU64,
+    parks: AtomicU64,
 }
 
 /// Snapshot of pool telemetry (used by the scaling benchmark and tests).
+///
+/// All three counters are host-scheduling artifacts — how work happened to
+/// land on threads this run — so they belong in the *non-deterministic*
+/// telemetry namespace (see `Hypervisor::metrics`), never in round stats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
     /// Jobs executed since the pool was created.
     pub executed: u64,
     /// Jobs that ran on a worker other than the one they were submitted to.
     pub steals: u64,
+    /// Times a worker parked on the condvar waiting for work (one
+    /// park/unpark transition per increment, not per spurious wakeup).
+    pub parks: u64,
 }
 
 /// A persistent work-stealing thread pool for round jobs.
@@ -112,6 +121,7 @@ impl WorkerPool {
             shutdown: AtomicBool::new(false),
             executed: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|id| {
@@ -135,6 +145,7 @@ impl WorkerPool {
         PoolStats {
             executed: self.shared.executed.load(Ordering::Relaxed),
             steals: self.shared.steals.load(Ordering::Relaxed),
+            parks: self.shared.parks.load(Ordering::Relaxed),
         }
     }
 
@@ -223,6 +234,7 @@ fn worker_loop(id: usize, shared: &PoolShared) {
         // parking is untimed because submitters notify under the same lock.
         {
             let mut unclaimed = shared.unclaimed.lock().unwrap_or_else(|e| e.into_inner());
+            let mut parked = false;
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -230,6 +242,10 @@ fn worker_loop(id: usize, shared: &PoolShared) {
                 if *unclaimed > 0 {
                     *unclaimed -= 1;
                     break;
+                }
+                if !parked {
+                    parked = true;
+                    shared.parks.fetch_add(1, Ordering::Relaxed);
                 }
                 unclaimed = shared
                     .work_ready

@@ -66,6 +66,17 @@ impl StateSnapshot {
     }
 }
 
+/// Formats the postmortem fault detail from the non-blocking assignment
+/// targets still pending when a settle cap fires. Shared by every engine so
+/// a hostile tenant's postmortem names the failing always-block site
+/// identically regardless of execution tier.
+pub fn fault_from_targets<'a>(targets: impl Iterator<Item = &'a str>) -> String {
+    let mut names: Vec<&str> = targets.collect();
+    names.sort_unstable();
+    names.dedup();
+    format!("non-convergent non-blocking targets: {}", names.join(", "))
+}
+
 /// The event-driven interpreter.
 #[derive(Debug, Clone)]
 pub struct Interpreter {
@@ -80,6 +91,13 @@ pub struct Interpreter {
     time: u64,
     finished: Option<u32>,
     initials_run: bool,
+    /// Cumulative evaluate/update rounds executed by [`Interpreter::settle`].
+    /// Pure observability — never part of [`StateSnapshot`].
+    settle_iters: u64,
+    /// Names of the non-blocking targets still pending when the settle cap
+    /// fired, captured for postmortems (the error message itself stays
+    /// engine-identical).
+    fault: Option<String>,
 }
 
 impl Interpreter {
@@ -123,7 +141,22 @@ impl Interpreter {
             time: 0,
             finished: None,
             initials_run: false,
+            settle_iters: 0,
+            fault: None,
         }
+    }
+
+    /// Cumulative evaluate/update rounds executed by [`Interpreter::settle`]
+    /// over this interpreter's lifetime (telemetry; not architectural state).
+    pub fn settle_iters(&self) -> u64 {
+        self.settle_iters
+    }
+
+    /// Executor-specific detail for the most recent settle-cap failure: the
+    /// non-blocking targets that never converged (e.g. the register a hostile
+    /// `always` block keeps toggling). `None` until such a failure occurs.
+    pub fn fault_detail(&self) -> Option<&str> {
+        self.fault.as_deref()
     }
 
     /// The elaborated module being executed.
@@ -363,8 +396,16 @@ impl Interpreter {
     /// [`Interpreter::update`], and rejects designs whose update rounds never
     /// drain (zero-delay self-triggering edges).
     pub fn settle(&mut self, env: &mut dyn SystemEnv) -> VlogResult<()> {
-        for _ in 0..MAX_SETTLE_ITERS {
+        for iter in 0..MAX_SETTLE_ITERS {
             self.evaluate(env)?;
+            self.settle_iters += 1;
+            if iter + 1 == MAX_SETTLE_ITERS && !self.nonblocking.is_empty() {
+                // About to hit the cap: capture the still-pending targets for
+                // the postmortem before the final (futile) update drains them.
+                self.fault = Some(fault_from_targets(
+                    self.nonblocking.iter().flat_map(|(l, _)| l.targets()),
+                ));
+            }
             if !self.update(env)? {
                 return Ok(());
             }

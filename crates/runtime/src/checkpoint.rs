@@ -261,7 +261,17 @@ impl Runtime {
             w.put_str(tag);
             w.put_state(snapshot);
         }
-        w.into_frame(KIND_RUNTIME)
+        let bytes = w.into_frame(KIND_RUNTIME);
+        if synergy_telemetry::enabled() {
+            let mut t = self.telem.lock().unwrap_or_else(|e| e.into_inner());
+            t.registry.counter_add(
+                synergy_telemetry::Namespace::Det,
+                "checkpoint_encode_bytes_total",
+                &[],
+                bytes.len() as u64,
+            );
+        }
+        bytes
     }
 
     /// Rebuilds a running tenant from checkpoint bytes.
@@ -282,7 +292,22 @@ impl Runtime {
     /// always typed, never a panic), and [`CheckpointError::Rebuild`] when
     /// the embedded program no longer compiles under this build.
     pub fn restore_checkpoint(bytes: &[u8]) -> Result<Runtime, CheckpointError> {
-        let payload = decode_frame_of(bytes, KIND_RUNTIME)?;
+        // CRC/framing failures happen before any runtime exists to own the
+        // count, so they land in the process-global telemetry registry
+        // (exported by `fleetstat`, never merged into per-node metrics).
+        let payload = decode_frame_of(bytes, KIND_RUNTIME).map_err(|e| {
+            if matches!(e, SnapshotError::Corrupt { .. }) && synergy_telemetry::enabled() {
+                synergy_telemetry::with_global(|r| {
+                    r.counter_add(
+                        synergy_telemetry::Namespace::Det,
+                        "checkpoint_crc_failures_total",
+                        &[],
+                        1,
+                    );
+                });
+            }
+            e
+        })?;
         let mut r = Reader::new(payload);
         let name = r.get_str()?;
         let source = r.get_str()?;
@@ -363,6 +388,15 @@ impl Runtime {
 
         let mut sim = SimClock::new();
         sim.advance_ns(now_ns);
+        // Telemetry is observability, not architectural state: a restored
+        // runtime starts with fresh counters and an empty flight recorder.
+        let mut telem = synergy_telemetry::Telemetry::default();
+        telem.registry.counter_add(
+            synergy_telemetry::Namespace::Det,
+            "checkpoint_decode_bytes_total",
+            &[],
+            bytes.len() as u64,
+        );
         Ok(Runtime {
             name,
             source,
@@ -383,6 +417,7 @@ impl Runtime {
             policy,
             tier,
             finished,
+            telem: std::sync::Mutex::new(telem),
         })
     }
 }

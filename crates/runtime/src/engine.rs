@@ -115,6 +115,42 @@ pub trait Engine: Send {
     fn compiled_tier(&self) -> Option<Tier> {
         None
     }
+
+    /// Cumulative executor-internal telemetry counters. The runtime diffs
+    /// these around each `run_ticks` call; engines that track nothing report
+    /// zeros. Counters are observability-only — never part of
+    /// `save_state`/`restore_state` or any wire format, so they reset when a
+    /// workload migrates between engines.
+    fn exec_counters(&self) -> EngineCounters {
+        EngineCounters::default()
+    }
+
+    /// Detail for the most recent settle-cap failure, if the engine recorded
+    /// one: the non-blocking targets that never converged. The error message
+    /// itself is engine-identical by contract; this side channel is what lets
+    /// postmortems name the failing always-block site.
+    fn fault_detail(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Cumulative executor-internal telemetry counters, engine-agnostic.
+///
+/// All four fields count *deterministic work performed* for a given program
+/// and input — never host time — so the deltas the runtime derives from them
+/// are safe to publish in the deterministic metrics namespace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Evaluate/update rounds executed while settling the design.
+    pub settle_iters: u64,
+    /// Combinational worklist nodes drained during propagation (0 on the
+    /// interpreter, which has no worklist).
+    pub worklist_drains: u64,
+    /// Guard scans skipped by the regalloc tier's write-epoch check.
+    pub guard_epoch_skips: u64,
+    /// Register-arena footprint of the regalloc tier (a size, not a rate;
+    /// 0 elsewhere).
+    pub arena_regs: u64,
 }
 
 // ------------------------------------------------------------------ software
@@ -145,6 +181,17 @@ impl SoftwareEngine {
 impl Engine for SoftwareEngine {
     fn kind(&self) -> EngineKind {
         EngineKind::Software
+    }
+
+    fn exec_counters(&self) -> EngineCounters {
+        EngineCounters {
+            settle_iters: self.interp.settle_iters(),
+            ..EngineCounters::default()
+        }
+    }
+
+    fn fault_detail(&self) -> Option<String> {
+        self.interp.fault_detail().map(str::to_owned)
     }
 
     fn get(&self, var: &str) -> VlogResult<Value> {
@@ -270,6 +317,20 @@ impl Engine for CompiledEngine {
 
     fn compiled_tier(&self) -> Option<Tier> {
         Some(self.sim.tier())
+    }
+
+    fn exec_counters(&self) -> EngineCounters {
+        let c = self.sim.exec_counters();
+        EngineCounters {
+            settle_iters: c.settle_iters,
+            worklist_drains: c.worklist_drains,
+            guard_epoch_skips: c.guard_epoch_skips,
+            arena_regs: c.arena_regs,
+        }
+    }
+
+    fn fault_detail(&self) -> Option<String> {
+        self.sim.fault_detail().map(str::to_owned)
     }
 
     fn get(&self, var: &str) -> VlogResult<Value> {
@@ -465,6 +526,17 @@ impl Engine for HardwareEngine {
         EngineKind::Hardware {
             device: self.device.clone(),
         }
+    }
+
+    fn exec_counters(&self) -> EngineCounters {
+        EngineCounters {
+            settle_iters: self.interp.settle_iters(),
+            ..EngineCounters::default()
+        }
+    }
+
+    fn fault_detail(&self) -> Option<String> {
+        self.interp.fault_detail().map(str::to_owned)
     }
 
     fn get(&self, var: &str) -> VlogResult<Value> {

@@ -22,7 +22,10 @@ mod engine;
 mod runtime;
 
 pub use checkpoint::CheckpointError;
-pub use engine::{CompiledEngine, Engine, EngineKind, HardwareEngine, SoftwareEngine, TickReport};
+pub use engine::{
+    CompiledEngine, Engine, EngineCounters, EngineKind, HardwareEngine, SoftwareEngine, TickReport,
+};
 pub use runtime::{
     CompiledTier, EnginePolicy, ExecMode, Profiler, RunReport, Runtime, RuntimeEvent, Sample,
+    MAX_PROFILER_SAMPLES,
 };

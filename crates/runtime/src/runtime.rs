@@ -12,9 +12,11 @@ use crate::engine::{
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 pub use synergy_codegen::Tier as CompiledTier;
 use synergy_fpga::{BitstreamCache, Device, SimClock, SynthOptions};
 use synergy_interp::{BufferEnv, StateSnapshot, TaskEffect, Value};
+use synergy_telemetry::{Namespace, Telemetry, POW2_BUCKETS};
 use synergy_transform::{transform, TransformOptions, Transformed};
 use synergy_vlog::elaborate::ElabModule;
 use synergy_vlog::{Bits, VlogError, VlogResult};
@@ -30,6 +32,12 @@ pub struct Sample {
     pub virtual_hz: f64,
 }
 
+/// Upper bound on the profiler's in-memory sample history. [`Profiler::record`]
+/// drops the oldest samples past this, so long-running tenants keep a bounded
+/// footprint; the full virtual-frequency distribution lives on in the
+/// `runtime_virtual_hz` telemetry histogram, which never forgets.
+pub const MAX_PROFILER_SAMPLES: usize = 512;
+
 /// Records virtual-clock progress over simulated time.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Profiler {
@@ -39,7 +47,8 @@ pub struct Profiler {
 }
 
 impl Profiler {
-    /// Records a sample at the given simulated time and cumulative tick count.
+    /// Records a sample at the given simulated time and cumulative tick count,
+    /// evicting the oldest samples beyond [`MAX_PROFILER_SAMPLES`].
     pub fn record(&mut self, time_s: f64, ticks: u64) {
         let dt = time_s - self.last_time_s;
         let dticks = ticks.saturating_sub(self.last_ticks);
@@ -49,6 +58,10 @@ impl Profiler {
             ticks,
             virtual_hz,
         });
+        if self.samples.len() > MAX_PROFILER_SAMPLES {
+            let excess = self.samples.len() - MAX_PROFILER_SAMPLES;
+            self.samples.drain(..excess);
+        }
         self.last_time_s = time_s;
         self.last_ticks = ticks;
     }
@@ -156,6 +169,12 @@ pub struct Runtime {
     /// environment; see [`CompiledTier::from_env`]).
     pub(crate) tier: CompiledTier,
     pub(crate) finished: Option<u32>,
+    /// Per-tenant telemetry: metrics registry + flight recorder. Behind a
+    /// `Mutex` so read-only paths (`&self`) can record too; the runtime is
+    /// owned by exactly one worker thread at a time, so the lock is
+    /// uncontended. Telemetry never enters the durable-checkpoint wire
+    /// format — a restored runtime starts with fresh counters.
+    pub(crate) telem: Mutex<Telemetry>,
 }
 
 impl Runtime {
@@ -196,6 +215,7 @@ impl Runtime {
         let software = Device::software();
         let tier = CompiledTier::from_env();
         let mut compiled = None;
+        let mut fallback: Option<String> = None;
         let (engine, device): (Box<dyn Engine>, Device) = match policy {
             EnginePolicy::Interpreter => (
                 Box::new(SoftwareEngine::new(design.clone(), clock)),
@@ -215,14 +235,28 @@ impl Runtime {
                     // outside the compilable envelope; internal lowering
                     // failures (and any failure under the strict policy)
                     // surface to the caller.
-                    Err(VlogError::Unsupported(_)) if policy == EnginePolicy::Auto => (
-                        Box::new(SoftwareEngine::new(design.clone(), clock)),
-                        software,
-                    ),
+                    Err(VlogError::Unsupported(reason)) if policy == EnginePolicy::Auto => {
+                        fallback = Some(reason);
+                        (
+                            Box::new(SoftwareEngine::new(design.clone(), clock)),
+                            software,
+                        )
+                    }
                     Err(e) => return Err(e),
                 }
             }
         };
+        let mut telem = Mutex::new(Telemetry::default());
+        if let Some(reason) = fallback {
+            let t = telem.get_mut().unwrap_or_else(|e| e.into_inner());
+            t.registry.counter_add(
+                Namespace::Det,
+                "runtime_engine_fallbacks_total",
+                &[("reason", reason.as_str())],
+                1,
+            );
+            t.recorder.record(0, "engine_fallback", reason);
+        }
         Ok(Runtime {
             name: name.into(),
             source: source.to_string(),
@@ -243,7 +277,37 @@ impl Runtime {
             policy,
             tier,
             finished: None,
+            telem,
         })
+    }
+
+    /// Locks the telemetry block, shrugging off poison (telemetry must never
+    /// take the runtime down with it).
+    fn telem_lock(&self) -> std::sync::MutexGuard<'_, Telemetry> {
+        self.telem.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A point-in-time clone of this runtime's metrics registry.
+    ///
+    /// Deterministic-namespace contents depend only on the program and its
+    /// inputs; see the `synergy_telemetry` crate docs for the contract.
+    pub fn metrics(&self) -> synergy_telemetry::Registry {
+        self.telem_lock().registry.clone()
+    }
+
+    /// The flight recorder's current contents (oldest event first), one
+    /// `#seq @tick span: detail` line per event. Empty when telemetry is
+    /// disabled or nothing noteworthy has happened.
+    pub fn flight_dump(&self) -> String {
+        self.telem_lock().recorder.dump()
+    }
+
+    /// Records a trace event into this runtime's flight recorder, stamped
+    /// with the current virtual tick. Used by the hypervisor to interleave
+    /// scheduling decisions with the runtime's own events.
+    pub fn record_event(&self, span: &'static str, detail: String) {
+        let ticks = self.ticks;
+        self.telem_lock().recorder.record(ticks, span, detail);
     }
 
     /// The software-engine selection policy this runtime was created with.
@@ -402,6 +466,13 @@ impl Runtime {
     ///
     /// Propagates engine evaluation errors.
     pub fn run_ticks(&mut self, n: u64) -> VlogResult<(RunReport, Vec<RuntimeEvent>)> {
+        let before = self.engine.exec_counters();
+        let result = self.run_ticks_inner(n);
+        self.note_run(&before, &result);
+        result
+    }
+
+    fn run_ticks_inner(&mut self, n: u64) -> VlogResult<(RunReport, Vec<RuntimeEvent>)> {
         let mut report = RunReport::default();
         let mut events = Vec::new();
         for _ in 0..n {
@@ -454,6 +525,119 @@ impl Runtime {
         }
         self.profiler.record(self.sim.now_secs(), self.ticks);
         Ok((report, events))
+    }
+
+    /// The telemetry epilogue of [`Runtime::run_ticks`] — the single
+    /// instrumentation path for per-run metrics. Counts ticks (by resident
+    /// engine tier), tasks, events, and engine-internal work deltas into the
+    /// deterministic namespace, folds the profiler's newest virtual-frequency
+    /// sample into the `runtime_virtual_hz` histogram, and leaves a flight
+    /// recorder event (with fault detail) behind on engine errors.
+    fn note_run(
+        &mut self,
+        before: &crate::engine::EngineCounters,
+        result: &VlogResult<(RunReport, Vec<RuntimeEvent>)>,
+    ) {
+        if !synergy_telemetry::enabled() {
+            return;
+        }
+        let engine = self.engine_label();
+        let after = self.engine.exec_counters();
+        let fault = self.engine.fault_detail();
+        let sample_hz = self.profiler.samples.last().map(|s| s.virtual_hz);
+        let ticks = self.ticks;
+        let t = self.telem.get_mut().unwrap_or_else(|e| e.into_inner());
+        let r = &mut t.registry;
+        // Engines migrate only *between* run_ticks calls, so a simple
+        // saturating delta per counter is exact; a migration mid-lifetime
+        // resets the engine's counters and the saturation floors the delta
+        // at zero rather than going negative.
+        let deltas = [
+            (
+                "runtime_settle_iters_total",
+                after.settle_iters.saturating_sub(before.settle_iters),
+            ),
+            (
+                "runtime_worklist_drains_total",
+                after.worklist_drains.saturating_sub(before.worklist_drains),
+            ),
+            (
+                "runtime_guard_epoch_skips_total",
+                after
+                    .guard_epoch_skips
+                    .saturating_sub(before.guard_epoch_skips),
+            ),
+        ];
+        for (name, delta) in deltas {
+            if delta > 0 {
+                r.counter_add(Namespace::Det, name, &[], delta);
+            }
+        }
+        if after.arena_regs > 0 {
+            r.gauge_set(
+                Namespace::Det,
+                "runtime_arena_regs",
+                &[],
+                after.arena_regs as i64,
+            );
+        }
+        match result {
+            Ok((report, events)) => {
+                r.counter_add(
+                    Namespace::Det,
+                    "runtime_ticks_total",
+                    &[("engine", engine)],
+                    report.ticks,
+                );
+                r.counter_add(
+                    Namespace::Det,
+                    "runtime_tasks_total",
+                    &[],
+                    report.tasks_handled,
+                );
+                r.counter_add(
+                    Namespace::Det,
+                    "runtime_events_total",
+                    &[],
+                    events.len() as u64,
+                );
+                if let Some(hz) = sample_hz {
+                    r.observe(
+                        Namespace::Det,
+                        "runtime_virtual_hz",
+                        &[],
+                        POW2_BUCKETS,
+                        hz as u64,
+                    );
+                }
+            }
+            Err(e) => {
+                r.counter_add(
+                    Namespace::Det,
+                    "runtime_engine_errors_total",
+                    &[("engine", engine)],
+                    1,
+                );
+                let detail = match &fault {
+                    Some(f) => format!("{} [{}]", e, f),
+                    None => e.to_string(),
+                };
+                t.recorder.record(ticks, "engine_error", detail);
+            }
+        }
+    }
+
+    /// The label value describing where the program currently executes, at
+    /// compiled-tier granularity.
+    fn engine_label(&self) -> &'static str {
+        match self.engine.kind() {
+            EngineKind::Software => "software",
+            EngineKind::Compiled => match self.engine_tier() {
+                CompiledTier::Stack => "compiled_stack",
+                CompiledTier::RegAlloc => "compiled_regalloc",
+            },
+            EngineKind::Hardware { .. } => "hardware",
+        }
     }
 
     /// Runs until the program finishes or `max_ticks` elapse.
@@ -603,11 +787,26 @@ impl Runtime {
     pub fn migrate_to_compiled(&mut self) -> VlogResult<u64> {
         let program = match &self.compiled {
             Some(p) => p.clone(),
-            None => {
-                let p = synergy_codegen::compile(&self.design)?;
-                self.compiled = Some(p.clone());
-                p
-            }
+            None => match synergy_codegen::compile(&self.design) {
+                Ok(p) => {
+                    self.compiled = Some(p.clone());
+                    p
+                }
+                Err(e) => {
+                    if let VlogError::Unsupported(reason) = &e {
+                        let ticks = self.ticks;
+                        let t = self.telem.get_mut().unwrap_or_else(|p| p.into_inner());
+                        t.registry.counter_add(
+                            Namespace::Det,
+                            "runtime_engine_fallbacks_total",
+                            &[("reason", reason.as_str())],
+                            1,
+                        );
+                        t.recorder.record(ticks, "engine_fallback", reason.clone());
+                    }
+                    return Err(e);
+                }
+            },
         };
         let mut compiled = CompiledEngine::from_program_with_tier(program, &self.clock, self.tier)?;
         let initials_run = self.engine.initials_run();

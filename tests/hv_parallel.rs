@@ -111,6 +111,13 @@ fn assert_policies_equivalent(fleet: &[Tenant], workers: usize, rounds: usize, d
         par.quarantined(),
         "quarantine sets diverge"
     );
+    // The telemetry determinism contract rides along: every Det-namespace
+    // metric must be byte-identical across scheduling policies.
+    assert_eq!(
+        seq.metrics().det_text(),
+        par.metrics().det_text(),
+        "deterministic metric snapshots diverge"
+    );
     for app in seq.apps() {
         let s = seq.app(app).unwrap();
         let p = par.app(app).unwrap();

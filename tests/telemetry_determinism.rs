@@ -1,0 +1,286 @@
+//! The telemetry determinism contract, differentially tested.
+//!
+//! Every metric in [`synergy::telemetry::Namespace::Det`] must be
+//! *bit-identical* between `SchedPolicy::Sequential` and
+//! `SchedPolicy::Parallel` for the same fleet and round count — the
+//! comparison is byte equality of [`synergy::Registry::det_text`], the
+//! canonical snapshot rendering. Host-time samples (round wall costs,
+//! worker-pool behaviour) live in the `NonDet` namespace and are excluded.
+//!
+//! Also pins the exporter wire formats (Prometheus text + jsonish) against
+//! golden files under `tests/golden/`; regenerate with
+//! `SYNERGY_BLESS_GOLDEN=1 cargo test -p synergy --test telemetry_determinism`.
+
+use proptest::prelude::*;
+use synergy::telemetry::{self, Namespace, Registry, POW2_BUCKETS};
+use synergy::workloads::{fuzz_input_data, generate_fuzz_design, HOSTILE_DESIGN};
+use synergy::{Device, DomainId, EnginePolicy, Hypervisor, Runtime, SchedPolicy};
+
+/// One tenant of a differential fleet.
+enum Tenant {
+    /// A Table-1 workload by name.
+    Workload { name: String, policy: EnginePolicy },
+    /// A fuzz-generated design from this seed.
+    Fuzz { seed: u64 },
+    /// A tenant whose engine errors mid-round (exercises quarantine
+    /// counters and flight-recorder postmortems).
+    Hostile,
+}
+
+/// Builds the same fleet on a fresh hypervisor under the given policy.
+fn build_hv(fleet: &[Tenant], sched: SchedPolicy) -> Hypervisor {
+    let mut hv = Hypervisor::new(Device::f1());
+    hv.set_sched_policy(sched);
+    hv.set_round_tick_cap(8);
+    for (i, tenant) in fleet.iter().enumerate() {
+        let domain = DomainId(i as u64 + 1);
+        match tenant {
+            Tenant::Workload { name, policy } => {
+                let bench = synergy::workloads::by_name(name).expect("known workload");
+                let mut rt = Runtime::with_policy(
+                    bench.name.clone(),
+                    &bench.source,
+                    &bench.top,
+                    &bench.clock,
+                    *policy,
+                )
+                .expect("workload compiles");
+                if let Some(path) = &bench.input_path {
+                    rt.add_file(
+                        path.clone(),
+                        synergy::workloads::input_data(&bench.name, 4096),
+                    );
+                }
+                hv.connect(rt, domain, false);
+            }
+            Tenant::Fuzz { seed } => {
+                let d = generate_fuzz_design(*seed);
+                let mut rt = Runtime::with_policy(
+                    format!("fuzz_{}", seed),
+                    &d.source,
+                    &d.top,
+                    &d.clock,
+                    if seed % 2 == 0 {
+                        EnginePolicy::Auto
+                    } else {
+                        EnginePolicy::Interpreter
+                    },
+                )
+                .expect("fuzz designs always elaborate");
+                if let Some(path) = &d.input_path {
+                    rt.add_file(path.clone(), fuzz_input_data(*seed, 64));
+                }
+                hv.connect(rt, domain, seed % 2 == 0);
+            }
+            Tenant::Hostile => {
+                let rt = Runtime::new("hostile", HOSTILE_DESIGN, "Hostile", "clock").unwrap();
+                hv.connect(rt, domain, false);
+            }
+        }
+    }
+    hv
+}
+
+/// Runs `rounds` rounds under both policies and asserts the deterministic
+/// metric snapshots are byte-identical (and non-empty — an accidentally
+/// disabled gate must not vacuously pass).
+fn assert_det_metrics_identical(fleet: &[Tenant], workers: usize, rounds: usize) {
+    telemetry::set_enabled(true);
+    let mut seq = build_hv(fleet, SchedPolicy::Sequential);
+    let mut par = build_hv(fleet, SchedPolicy::Parallel { workers });
+    for _ in 0..rounds {
+        seq.run_round(0.00002).expect("sequential round");
+        par.run_round(0.00002).expect("parallel round");
+    }
+    let s = seq.metrics().det_text();
+    let p = par.metrics().det_text();
+    assert!(!s.is_empty(), "deterministic snapshot is empty");
+    assert_eq!(
+        s, p,
+        "deterministic metric snapshots diverge between sequential and {}-worker parallel",
+        workers
+    );
+}
+
+#[test]
+fn each_table1_workload_has_policy_identical_det_metrics() {
+    for bench in synergy::workloads::all() {
+        // Each workload twice — compiled where it lowers, and interpreted —
+        // so both engines' instrumentation paths are compared.
+        let fleet = vec![
+            Tenant::Workload {
+                name: bench.name.clone(),
+                policy: EnginePolicy::Auto,
+            },
+            Tenant::Workload {
+                name: bench.name.clone(),
+                policy: EnginePolicy::Interpreter,
+            },
+        ];
+        assert_det_metrics_identical(&fleet, 4, 3);
+    }
+}
+
+#[test]
+fn mixed_table1_fleet_has_policy_identical_det_metrics() {
+    let mut fleet: Vec<Tenant> = synergy::workloads::all()
+        .into_iter()
+        .enumerate()
+        .map(|(i, bench)| Tenant::Workload {
+            name: bench.name,
+            policy: if i % 2 == 0 {
+                EnginePolicy::Auto
+            } else {
+                EnginePolicy::Interpreter
+            },
+        })
+        .collect();
+    fleet.push(Tenant::Hostile);
+    assert_det_metrics_identical(&fleet, 4, 3);
+}
+
+/// Sweeps `SYNERGY_METRICS_FUZZ_SEEDS` fuzz fleets (default 16; the nightly
+/// CI sweep sets 256) of four generated tenants each.
+#[test]
+fn fuzz_fleet_sweep_has_policy_identical_det_metrics() {
+    let fleets: u64 = std::env::var("SYNERGY_METRICS_FUZZ_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+        / 4;
+    for fleet_idx in 0..fleets.max(1) {
+        let base = fleet_idx * 4;
+        let fleet: Vec<Tenant> = (base..base + 4).map(|seed| Tenant::Fuzz { seed }).collect();
+        let workers = 2 + (fleet_idx as usize % 7);
+        assert_det_metrics_identical(&fleet, workers, 2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random mixed fleets (Table-1 + fuzz + one hostile tenant), random
+    /// worker counts: the deterministic snapshot must not depend on the
+    /// scheduling policy even when tenants error and quarantine mid-run.
+    #[test]
+    fn random_mixed_fleets_have_policy_identical_det_metrics(
+        seed in any::<u64>(),
+        workers in 2usize..9,
+        size in 2usize..5,
+    ) {
+        let names: Vec<String> =
+            synergy::workloads::all().into_iter().map(|b| b.name).collect();
+        let mut fleet: Vec<Tenant> = (0..size as u64)
+            .map(|i| {
+                let s = seed.wrapping_add(i);
+                if s % 3 == 0 {
+                    Tenant::Workload {
+                        name: names[(s % names.len() as u64) as usize].clone(),
+                        policy: EnginePolicy::Auto,
+                    }
+                } else {
+                    Tenant::Fuzz { seed: s }
+                }
+            })
+            .collect();
+        fleet.insert((seed % (size as u64 + 1)) as usize, Tenant::Hostile);
+        assert_det_metrics_identical(&fleet, workers, 2);
+    }
+}
+
+// ------------------------------------------------------------ exporter golden
+
+/// Builds a fixed registry covering every metric kind, both namespaces,
+/// labelled and unlabelled keys, and histogram overflow — the exporter
+/// surface the golden files pin.
+fn golden_registry() -> Registry {
+    telemetry::set_enabled(true);
+    let mut r = Registry::default();
+    r.counter_add(
+        Namespace::Det,
+        "runtime_ticks_total",
+        &[("engine", "compiled_regalloc")],
+        4096,
+    );
+    r.counter_add(
+        Namespace::Det,
+        "runtime_ticks_total",
+        &[("engine", "software")],
+        128,
+    );
+    r.counter_add(Namespace::Det, "hv_rounds_total", &[], 12);
+    r.gauge_set(Namespace::Det, "hv_drr_banked_ticks", &[], -3);
+    r.gauge_set(Namespace::Det, "hv_tenants", &[], 7);
+    r.observe(
+        Namespace::Det,
+        "hv_round_latency_ticks",
+        &[],
+        POW2_BUCKETS,
+        1,
+    );
+    r.observe(
+        Namespace::Det,
+        "hv_round_latency_ticks",
+        &[],
+        POW2_BUCKETS,
+        300,
+    );
+    // Past the last bound: lands in the implicit overflow bucket.
+    r.observe(
+        Namespace::Det,
+        "hv_round_latency_ticks",
+        &[],
+        POW2_BUCKETS,
+        1 << 30,
+    );
+    r.counter_add(
+        Namespace::NonDet,
+        "hv_host_round_ns_total",
+        &[("app", "3")],
+        1_500_000,
+    );
+    r.gauge_set(Namespace::NonDet, "hv_pool_steals", &[], 2);
+    r
+}
+
+fn golden_path(name: &str) -> String {
+    format!("{}/../../tests/golden/{}", env!("CARGO_MANIFEST_DIR"), name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("SYNERGY_BLESS_GOLDEN").is_ok() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({}); bless with SYNERGY_BLESS_GOLDEN=1",
+            path, e
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "exporter output diverged from {}; re-bless with SYNERGY_BLESS_GOLDEN=1 if intentional",
+        name
+    );
+}
+
+#[test]
+fn prometheus_exporter_matches_golden() {
+    assert_matches_golden("metrics_snapshot.txt", &golden_registry().to_prometheus());
+}
+
+#[test]
+fn jsonish_exporter_matches_golden() {
+    assert_matches_golden("metrics_snapshot.json", &golden_registry().to_jsonish());
+}
+
+#[test]
+fn det_text_excludes_the_nondeterministic_namespace() {
+    let r = golden_registry();
+    let det = r.det_text();
+    assert!(det.contains("runtime_ticks_total"));
+    assert!(!det.contains("hv_host_round_ns_total"));
+    assert!(!det.contains("hv_pool_steals"));
+}
