@@ -4,9 +4,11 @@
 //! compares them against the checked-in `BENCH_*.json` baselines:
 //!
 //! * `BENCH_interp_vs_compiled.json` — per workload, the default compiled
-//!   engine's (regalloc tier) speedup over the interpreter (PR 1/2's
-//!   tentpole win) *and* the regalloc tier's `regalloc_over_stack` ratio
-//!   over the stack-bytecode tier (PR 4's tentpole win);
+//!   engine's (optimized regalloc tier) speedup over the interpreter
+//!   (PR 1/2's tentpole win), the regalloc tier's `regalloc_over_stack`
+//!   ratio over the stack-bytecode tier (PR 4's tentpole win), and the
+//!   netlist optimizer's `opt_over_o0` ratio on the regalloc tier (PR 8's
+//!   tentpole win);
 //! * `BENCH_hv_scaling.json` — the parallel scheduler's model speedup for
 //!   the 8-worker / 32-tenant mixed fleet (PR 3's tentpole win);
 //! * `BENCH_telemetry.json` — the telemetry subsystem's overhead budget:
@@ -70,18 +72,30 @@ fn handicap() -> f64 {
 #[derive(Clone, Copy)]
 enum Measured {
     Interpreter,
-    Compiled(synergy::codegen::Tier),
+    /// A compiled tier; `opt` selects whether the netlist optimization
+    /// pipeline (synergy-opt, the default at runtime) runs first.
+    Compiled(synergy::codegen::Tier, OptState),
+}
+
+/// Whether the measured program went through the optimizer.
+#[derive(Clone, Copy)]
+enum OptState {
+    O0,
+    Optimized,
 }
 
 /// Times one workload on one engine: best of `reps` timings of `ticks`
 /// ticks each (to shave runner noise), with construction and lowering kept
-/// *outside* the timed region so the measurement is steady-state ticks/sec.
+/// *outside* the timed region so the measurement is steady-state. Returns
+/// nanoseconds **per tick**, so callers may pick per-engine tick counts
+/// (interpreter samples are expensive; compiled samples need to be long
+/// enough that a 50µs timed region's noise doesn't flap a 25% gate).
 fn measure_ticks_ns(
     bench: &synergy::Benchmark,
     engine: Measured,
     ticks: usize,
     reps: usize,
-) -> u64 {
+) -> f64 {
     let design = synergy::vlog::compile(&bench.source, &bench.top).expect("workload compiles");
     let input = bench.input_path.as_ref().map(|p| {
         (
@@ -91,8 +105,17 @@ fn measure_ticks_ns(
     });
     let base_sim = match engine {
         Measured::Interpreter => None,
-        Measured::Compiled(tier) => {
-            let prog = synergy::codegen::compile(&design).expect("lowers");
+        Measured::Compiled(tier, opt) => {
+            let mut prog = synergy::codegen::compile(&design).expect("lowers");
+            if matches!(opt, OptState::Optimized) {
+                let report =
+                    synergy::opt::optimize_with_passes(&mut prog, &synergy::opt::PASS_NAMES);
+                assert!(
+                    !report.any_reverted(),
+                    "optimizer pass reverted on {}",
+                    bench.name
+                );
+            }
             Some(synergy::codegen::CompiledSim::with_tier(prog, tier).expect("translates"))
         }
     };
@@ -122,7 +145,51 @@ fn measure_ticks_ns(
             }
         })
         .min()
-        .expect("at least one rep")
+        .expect("at least one rep") as f64
+        / ticks.max(1) as f64
+}
+
+/// Measures the optimizer's speedup on the regalloc tier as a *paired*
+/// interleaved ratio: O0 and optimized reps alternate within one process
+/// and the ratio of minimums is returned. A ratio centred near 1.0 with a
+/// 25% gate needs far less measurement noise than the big interp-vs-compiled
+/// ratios tolerate, and interleaving cancels frequency scaling and runner
+/// contention that separate 200-tick samples would inherit.
+fn measure_opt_ratio(bench: &synergy::Benchmark, ticks: usize, reps: usize) -> f64 {
+    let design = synergy::vlog::compile(&bench.source, &bench.top).expect("workload compiles");
+    let prog = synergy::codegen::compile(&design).expect("lowers");
+    let mut oprog = prog.clone();
+    let report = synergy::opt::optimize_with_passes(&mut oprog, &synergy::opt::PASS_NAMES);
+    assert!(
+        !report.any_reverted(),
+        "optimizer pass reverted on {}",
+        bench.name
+    );
+    let o0 = synergy::codegen::CompiledSim::with_tier(prog, synergy::codegen::Tier::RegAlloc)
+        .expect("translates");
+    let o1 = synergy::codegen::CompiledSim::with_tier(oprog, synergy::codegen::Tier::RegAlloc)
+        .expect("translates");
+    let time_one = |base: &synergy::codegen::CompiledSim| {
+        let mut env = synergy::interp::BufferEnv::new();
+        if let Some(p) = &bench.input_path {
+            env.add_file(
+                p.clone(),
+                synergy::workloads::input_data(&bench.name, 4 * ticks),
+            );
+        }
+        let mut sim = base.clone();
+        let start = Instant::now();
+        for _ in 0..ticks {
+            sim.tick(&bench.clock, &mut env).expect("ticks");
+        }
+        start.elapsed().as_nanos() as u64
+    };
+    let (mut best0, mut best1) = (u64::MAX, u64::MAX);
+    for _ in 0..reps {
+        best0 = best0.min(time_one(&o0));
+        best1 = best1.min(time_one(&o1));
+    }
+    best0 as f64 / best1.max(1) as f64
 }
 
 /// Measures the fractional slowdown of enabling telemetry on the regalloc
@@ -211,32 +278,50 @@ pub fn run_checks(interp_vs_compiled: &str, hv_scaling: &str, telemetry: &str) -
         let interp_ns = measure_ticks_ns(&bench, Measured::Interpreter, 200, 3);
         let stack_ns = measure_ticks_ns(
             &bench,
-            Measured::Compiled(synergy::codegen::Tier::Stack),
-            200,
-            3,
+            Measured::Compiled(synergy::codegen::Tier::Stack, OptState::O0),
+            2000,
+            4,
         );
         let regalloc_ns = measure_ticks_ns(
             &bench,
-            Measured::Compiled(synergy::codegen::Tier::RegAlloc),
-            200,
-            3,
+            Measured::Compiled(synergy::codegen::Tier::RegAlloc, OptState::O0),
+            4000,
+            4,
         );
-        // The headline speedup is the *default* compiled engine (regalloc
-        // tier) over the interpreter.
+        let opt_ns = measure_ticks_ns(
+            &bench,
+            Measured::Compiled(synergy::codegen::Tier::RegAlloc, OptState::Optimized),
+            4000,
+            4,
+        );
+        // The headline speedup is the *default* compiled engine (optimized
+        // regalloc tier) over the interpreter.
         checks.push(Check {
             name: format!("interp_vs_compiled/{}", workload),
             baseline,
-            measured: interp_ns as f64 / regalloc_ns.max(1) as f64 / handicap,
+            measured: interp_ns / opt_ns.max(1e-9) / handicap,
             tolerance: TOLERANCE,
         });
         // The regalloc tier must also hold its ratio over the stack tier
-        // (this PR's tentpole win).
+        // (PR 4's tentpole win; both at O0 so the ratio isolates the tier).
         let baseline_tiers =
             num_field(obj, "regalloc_over_stack").expect("baseline row has regalloc_over_stack");
         checks.push(Check {
             name: format!("compiled_vs_regalloc/{}", workload),
             baseline: baseline_tiers,
-            measured: stack_ns as f64 / regalloc_ns.max(1) as f64 / handicap,
+            measured: stack_ns / regalloc_ns.max(1e-9) / handicap,
+            tolerance: TOLERANCE,
+        });
+        // The optimizer must never pessimize the regalloc tier (PR 8's
+        // tentpole): measured optimized-over-O0 as a paired interleaved
+        // ratio, baseline from the committed honest measurement. With the
+        // shared TOLERANCE this fails closed when the pipeline makes any
+        // workload ~25% slower than its committed ratio.
+        let baseline_opt = num_field(obj, "opt_over_o0").expect("baseline row has opt_over_o0");
+        checks.push(Check {
+            name: format!("opt_over_o0/{}", workload),
+            baseline: baseline_opt,
+            measured: measure_opt_ratio(&bench, 4000, 4) / handicap,
             tolerance: TOLERANCE,
         });
     }

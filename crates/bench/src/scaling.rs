@@ -171,6 +171,10 @@ fn sweep_impl(
         for _ in 0..rounds {
             let stats = hv.run_round(ROUND_DT).expect("round is infallible");
             seq_ticks += stats.iter().map(|s| s.ticks).sum::<u64>();
+            // The model wants per-round values, which the cumulative
+            // registry counters don't expose — the deprecated raw accessor
+            // is the right tool here.
+            #[allow(deprecated)]
             round_costs.push(
                 hv.last_round_host_costs()
                     .iter()

@@ -252,6 +252,12 @@ fn exec(
                 let v = st.stack.pop().unwrap();
                 st.stack.push(v.resize(*w as usize));
             }
+            Op::Select => {
+                let b = st.stack.pop().unwrap();
+                let a = st.stack.pop().unwrap();
+                let c = st.stack.pop().unwrap();
+                st.stack.push(if c.to_bool() { a } else { b });
+            }
             Op::Jump(t) => {
                 pc = *t as usize;
                 continue;
@@ -834,6 +840,17 @@ impl CompiledSim {
     /// The compiled program being executed.
     pub fn program(&self) -> &CompiledProgram {
         &self.prog
+    }
+
+    /// Static three-address instruction count across all translated programs
+    /// on the regalloc tier, `None` on the stack tier (whose static size is
+    /// [`CompiledProgram::op_count`]). Together with `op_count` this is the
+    /// "code footprint" pair the optimizer's `PassStats` report compares.
+    pub fn word_op_count(&self) -> Option<usize> {
+        match &self.backend {
+            Backend::Stack(_) => None,
+            Backend::Word(wm) => Some(wm.static_op_count()),
+        }
     }
 
     /// Current simulation time (incremented by [`CompiledSim::tick`]).

@@ -5,8 +5,8 @@
 //! (scalars in [`NetDecl`] order, 1-D memories in [`MemDecl`] order), every
 //! continuous assignment becomes a levelized [`CombNode`] whose right-hand side
 //! is a small bytecode program ending in a store, and every `always`/`initial`
-//! body becomes a bytecode program for the register-machine executor in
-//! [`crate::exec`]. Name resolution, width resolution, and the
+//! body becomes a bytecode program for the register-machine executor
+//! (the private `exec` module). Name resolution, width resolution, and the
 //! combinational-dependency graph are all computed once at compile time, which
 //! is what removes the per-tick AST walking and map lookups that dominate the
 //! tree-walking interpreter.
@@ -256,6 +256,9 @@ pub struct NetDecl {
     pub init: Option<Bits>,
     /// `true` for reg/integer variables (captured by snapshots).
     pub is_register: bool,
+    /// `true` for root-module ports (externally observable; the optimizer
+    /// must keep them and their drivers alive).
+    pub is_port: bool,
 }
 
 /// One 1-D memory in the arena.
@@ -317,6 +320,12 @@ pub enum Op {
     ReplicateDyn,
     /// Pop value; push it resized to the given width.
     Resize(u32),
+    /// Pop else-value, then then-value, then condition; push the then-value
+    /// when the condition is non-zero, the else-value otherwise. Each arm
+    /// keeps its own width. Emitted only by the `synergy-opt` if-conversion
+    /// pass (the lowerer always branches); both arms are evaluated, so the
+    /// producer must prove them side-effect free and total.
+    Select,
     /// Unconditional jump.
     Jump(u32),
     /// Pop condition; jump when it is zero.
@@ -425,40 +434,56 @@ pub struct AlwaysProg {
 
 /// A fully lowered design, ready to instantiate as a
 /// [`crate::CompiledSim`].
+///
+/// The arenas and tables are public so the `synergy-opt` pass manager can
+/// rewrite the program between lowering and execution; every structural
+/// invariant a rewrite must preserve (levelization, driver-group tables,
+/// snapshot visibility) is documented in `docs/IR.md` at the repository
+/// root.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
     /// Root module name.
     pub name: String,
-    pub(crate) nets: Vec<NetDecl>,
-    pub(crate) mems: Vec<MemDecl>,
-    pub(crate) slots: BTreeMap<String, SlotRef>,
-    pub(crate) consts: Vec<Val>,
-    pub(crate) strings: Vec<String>,
-    pub(crate) effects: Vec<TaskEffect>,
+    /// Scalar net declarations; `Op::PushNet`/`Op::StoreNet` index here.
+    pub nets: Vec<NetDecl>,
+    /// Memory declarations; `Op::MemRead`/`Op::StoreMem` index here.
+    pub mems: Vec<MemDecl>,
+    /// Flattened variable name -> arena slot (the external get/set surface).
+    pub slots: BTreeMap<String, SlotRef>,
+    /// Constant pool (`Op::PushConst` operands).
+    pub consts: Vec<Val>,
+    /// String pool (`Op::PrintStr` / `Op::Fopen` operands).
+    pub strings: Vec<String>,
+    /// Control-flow effect pool (`Op::Effect` operands).
+    pub effects: Vec<TaskEffect>,
     /// Combinational nodes in topological order.
-    pub(crate) comb: Vec<CombNode>,
+    pub comb: Vec<CombNode>,
     /// Net index -> positions (into `comb`) of nodes reading that net.
-    pub(crate) net_deps: Vec<Vec<u32>>,
+    pub net_deps: Vec<Vec<u32>>,
     /// Net index -> position of the node driving it, if continuously driven.
     /// A write to such a net must re-wake its driver, which re-imposes the
     /// assigned value exactly as the interpreter's full re-evaluation does.
-    pub(crate) net_driver: Vec<Option<u32>>,
+    pub net_driver: Vec<Option<u32>>,
     /// Memory index -> positions of nodes reading that memory.
-    pub(crate) mem_deps: Vec<Vec<u32>>,
+    pub mem_deps: Vec<Vec<u32>>,
     /// Memory index -> position of the node driving elements of it, if any
     /// (continuous assignments to memory elements). Like `net_driver`, a
     /// procedural write to such a memory re-wakes the driver.
-    pub(crate) mem_driver: Vec<Option<u32>>,
-    pub(crate) always: Vec<AlwaysProg>,
-    pub(crate) initials: Vec<Code>,
+    pub mem_driver: Vec<Option<u32>>,
+    /// Compiled `always` blocks (guards + bodies).
+    pub always: Vec<AlwaysProg>,
+    /// Compiled `initial` blocks.
+    pub initials: Vec<Code>,
     /// Store programs for non-blocking / `$fread` targets; each starts from
     /// the value register.
-    pub(crate) nb_sites: Vec<Code>,
+    pub nb_sites: Vec<Code>,
     /// Source-level target names per `nb_sites` entry, for settle-cap
     /// postmortems ("which always-block site never converged").
-    pub(crate) nb_site_names: Vec<String>,
-    pub(crate) n_temps: u32,
-    pub(crate) n_loops: u32,
+    pub nb_site_names: Vec<String>,
+    /// Size of the temp-register file shared by all programs.
+    pub n_temps: u32,
+    /// Size of the loop-counter file (`Op::LoopInit`/`Op::LoopCheck`).
+    pub n_loops: u32,
 }
 
 impl CompiledProgram {

@@ -84,10 +84,10 @@
 //! # Ok::<(), synergy_vlog::VlogError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod exec;
-mod ir;
+pub mod ir;
 mod lower;
 mod regalloc;
 mod wordexec;

@@ -147,6 +147,20 @@ pub(crate) enum WOp {
         dst: u32,
         src: u32,
     },
+    /// words[dst] = if words[c] != 0 { words[a] } else { words[b] }
+    SelW {
+        dst: u32,
+        c: u32,
+        a: u32,
+        b: u32,
+    },
+    /// bigs[dst] = bigs[if words[c] != 0 { a } else { b }].clone()
+    SelB {
+        dst: u32,
+        c: u32,
+        a: u32,
+        b: u32,
+    },
 
     // ---------------------------------------------------- arena access
     /// words[dst] = net_w[net]
@@ -701,6 +715,12 @@ fn visit_regs(op: &mut WOp, f: &mut dyn FnMut(&mut u32, bool)) {
             f(src, false);
             f(dst, true);
         }
+        SelW { dst, c, a, b } | SelB { dst, c, a, b } => {
+            f(c, false);
+            f(a, false);
+            f(b, false);
+            f(dst, true);
+        }
         ConstW { dst, .. }
         | ConstB { dst, .. }
         | LoadNetW { dst, .. }
@@ -1008,6 +1028,12 @@ fn infer_classes(
                     Op::Resize(w) => {
                         pop(&mut stack)?;
                         stack.push(width_class(*w));
+                    }
+                    Op::Select => {
+                        let b = pop(&mut stack)?;
+                        let a = pop(&mut stack)?;
+                        pop(&mut stack)?;
+                        stack.push(a.join(b));
                     }
                     Op::Jump(t) => {
                         merge(&mut info.label_in, *t as usize, &stack, &mut changed)?;
@@ -1526,6 +1552,41 @@ fn emit(
                             });
                             let d = e.narrow(big, width_class(*w));
                             e.stack.push(d);
+                        }
+                    }
+                }
+                Op::Select => {
+                    let b = e.pop(pc)?;
+                    let a = e.pop(pc)?;
+                    let c = e.pop(pc)?;
+                    let c = match c.0 {
+                        Class::Word(_) => c.1,
+                        Class::Big => {
+                            let r = e.fresh(Class::Word(1));
+                            e.ops.push(WOp::TruthB { dst: r, src: c.1 });
+                            r
+                        }
+                    };
+                    match (a.0, b.0) {
+                        (Class::Word(aw), Class::Word(bw)) if aw == bw => {
+                            let dst = e.push(Class::Word(aw));
+                            e.ops.push(WOp::SelW {
+                                dst,
+                                c,
+                                a: a.1,
+                                b: b.1,
+                            });
+                        }
+                        _ => {
+                            let av = e.big_reg(a);
+                            let bv = e.big_reg(b);
+                            let dst = e.push(Class::Big);
+                            e.ops.push(WOp::SelB {
+                                dst,
+                                c,
+                                a: av,
+                                b: bv,
+                            });
                         }
                     }
                 }

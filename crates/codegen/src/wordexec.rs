@@ -667,6 +667,46 @@ impl WordMachine {
         self.st.initials_run = true;
     }
 
+    /// Static three-address instruction count across all translated programs
+    /// (see `CompiledSim::word_op_count`).
+    pub(crate) fn static_op_count(&self) -> usize {
+        let comb: usize = self
+            .wp
+            .comb
+            .iter()
+            .map(|c| match c {
+                WComb::Prog(p) => p.ops.len(),
+                _ => 1,
+            })
+            .sum();
+        let always: usize = self
+            .wp
+            .always
+            .iter()
+            .map(|a| {
+                a.body.ops.len()
+                    + a.guards
+                        .iter()
+                        .map(|(_, g)| match g {
+                            WGuard::NetW { .. } => 1,
+                            WGuard::Prog(p) => p.ops.len(),
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        let nb: usize = self
+            .wp
+            .nb_sites
+            .iter()
+            .map(|s| match s {
+                WNbSite::WordNet { .. } => 1,
+                WNbSite::Prog(p) => p.ops.len(),
+            })
+            .sum();
+        let initials: usize = self.wp.initials.iter().map(|p| p.ops.len()).sum();
+        comb + always + nb + initials
+    }
+
     /// Cumulative telemetry counters (see `CompiledSim::exec_counters`).
     pub(crate) fn exec_counters(&self) -> crate::exec::ExecCounters {
         crate::exec::ExecCounters {
@@ -1139,6 +1179,14 @@ fn wexec(
             }
             WOp::TruthB { dst, src } => {
                 st.words[*dst as usize] = st.bigs[*src as usize].to_bool() as u64
+            }
+            WOp::SelW { dst, c, a, b } => {
+                let pick = if st.words[*c as usize] != 0 { a } else { b };
+                st.words[*dst as usize] = st.words[*pick as usize];
+            }
+            WOp::SelB { dst, c, a, b } => {
+                let pick = if st.words[*c as usize] != 0 { a } else { b };
+                st.bigs[*dst as usize] = st.bigs[*pick as usize].clone();
             }
             WOp::LoadNetW { dst, net } => st.words[*dst as usize] = st.net_w[*net as usize],
             WOp::LoadNetB { dst, net } => {

@@ -60,8 +60,9 @@ pub use synergy_amorphos::DomainId;
 pub use synergy_codegen::{CompiledProgram, CompiledSim};
 pub use synergy_fpga::{BitstreamCache, Device, RamStyle, SynthOptions, SynthReport};
 pub use synergy_hv::{AppId, Cluster, DeployOutcome, Hypervisor, NodeId, RoundStats, SchedPolicy};
+pub use synergy_opt as opt;
 pub use synergy_runtime::{
-    CheckpointError, CompiledTier, EnginePolicy, ExecMode, Runtime, RuntimeEvent,
+    CheckpointError, CompiledTier, EnginePolicy, ExecMode, OptLevel, Runtime, RuntimeEvent,
 };
 pub use synergy_snapshot::SnapshotError;
 pub use synergy_telemetry::{FlightRecorder, Namespace, Registry, Telemetry};
@@ -151,6 +152,25 @@ impl SynergyVm {
     /// (diagnostics / differential baselines).
     pub fn set_compiled_tier(&mut self, tier: CompiledTier) {
         self.cluster.set_compiled_tier(tier);
+    }
+
+    /// Selects the netlist optimization level applied when programs are
+    /// lowered for the compiled engine on every node: [`OptLevel::O1`]
+    /// (default, full pass pipeline) or [`OptLevel::O0`] (no optimization —
+    /// diagnostics / differential baselines). Also settable process-wide via
+    /// the `SYNERGY_OPT` environment variable. Optimization never changes
+    /// observable behaviour, so the level can be flipped at any point; it
+    /// takes effect for programs lowered afterwards.
+    ///
+    /// ```
+    /// use synergy::{OptLevel, SynergyVm};
+    ///
+    /// let mut vm = SynergyVm::new();
+    /// vm.set_opt_level(OptLevel::O0); // pin the unoptimized baseline
+    /// vm.set_opt_level(OptLevel::O1); // back to the default
+    /// ```
+    pub fn set_opt_level(&mut self, level: OptLevel) {
+        self.cluster.set_opt_level(level);
     }
 
     /// Sets the round-scheduling policy for every node: under

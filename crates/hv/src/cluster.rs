@@ -13,7 +13,7 @@ use crate::sched::SchedPolicy;
 use serde::{Deserialize, Serialize};
 use synergy_amorphos::DomainId;
 use synergy_fpga::{BitstreamCache, Device};
-use synergy_runtime::{CompiledTier, EnginePolicy, Runtime};
+use synergy_runtime::{CompiledTier, EnginePolicy, OptLevel, Runtime};
 use synergy_telemetry::{Namespace, Registry};
 
 /// Identifies a node (one device + hypervisor) within a cluster.
@@ -26,6 +26,7 @@ pub struct Cluster {
     cache: BitstreamCache,
     policy: EnginePolicy,
     tier: Option<CompiledTier>,
+    opt_level: Option<OptLevel>,
     sched: SchedPolicy,
 }
 
@@ -43,6 +44,7 @@ impl Cluster {
             cache: BitstreamCache::new(),
             policy: EnginePolicy::Interpreter,
             tier: None,
+            opt_level: None,
             sched: SchedPolicy::Sequential,
         }
     }
@@ -53,6 +55,9 @@ impl Cluster {
         hv.set_engine_policy(self.policy);
         if let Some(tier) = self.tier {
             hv.set_compiled_tier(tier);
+        }
+        if let Some(level) = self.opt_level {
+            hv.set_opt_level(level);
         }
         hv.set_sched_policy(self.sched);
         self.nodes.push(hv);
@@ -65,6 +70,15 @@ impl Cluster {
         self.tier = Some(tier);
         for node in &mut self.nodes {
             node.set_compiled_tier(tier);
+        }
+    }
+
+    /// Selects the netlist optimization level on every current and future
+    /// node (see [`Hypervisor::set_opt_level`]).
+    pub fn set_opt_level(&mut self, level: OptLevel) {
+        self.opt_level = Some(level);
+        for node in &mut self.nodes {
+            node.set_opt_level(level);
         }
     }
 

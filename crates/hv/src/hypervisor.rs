@@ -23,7 +23,8 @@ use synergy_fpga::{
     BitstreamCache, CompileOutcome, Device, Fabric, FabricError, SimClock, SynthOptions,
 };
 use synergy_runtime::{
-    CheckpointError, CompiledTier, EnginePolicy, ExecMode, RunReport, Runtime, RuntimeEvent,
+    CheckpointError, CompiledTier, EnginePolicy, ExecMode, OptLevel, RunReport, Runtime,
+    RuntimeEvent,
 };
 use synergy_snapshot::{decode_frame_of, Reader, SnapshotError, Writer, KIND_FLEET};
 use synergy_telemetry::{Namespace, Registry, Telemetry, POW2_BUCKETS};
@@ -238,6 +239,9 @@ pub struct Hypervisor {
     /// Compiled-engine tier pushed to every current and future tenant
     /// runtime (`None` leaves each runtime's own/default tier in place).
     tier: Option<CompiledTier>,
+    /// Netlist optimization level pushed to every current and future tenant
+    /// runtime (`None` leaves each runtime's own/default level in place).
+    opt_level: Option<OptLevel>,
     sched: SchedPolicy,
     /// Persistent worker pool, spawned lazily on the first parallel round and
     /// rebuilt when the requested worker count changes.
@@ -287,6 +291,7 @@ impl Hypervisor {
             round_tick_cap: 100_000,
             policy: EnginePolicy::Interpreter,
             tier: None,
+            opt_level: None,
             sched: SchedPolicy::Sequential,
             pool: None,
             drr: DeficitRoundRobin::new(),
@@ -379,11 +384,16 @@ impl Hypervisor {
     /// kept out of [`RoundStats`] so stats stay bit-identical across
     /// scheduling policies.
     ///
-    /// **Deprecated in favor of [`Hypervisor::metrics`]:** the same data now
+    /// Deprecated in favor of [`Hypervisor::metrics`]: the same data now
     /// accumulates in the *non-deterministic* namespace as the
-    /// `hv_host_round_ns_total{app=...}` counters (this raw accessor keeps
-    /// only the most recent round). The accessor keeps delegating and is not
-    /// going away, but new code should read the registry.
+    /// `hv_host_round_ns_total{app=...}` counters, while this raw accessor
+    /// keeps only the most recent round. It is not going away (the scaling
+    /// benchmark wants per-round values, not cumulative counters), but new
+    /// code should read the registry.
+    #[deprecated(
+        note = "read the hv_host_round_ns_total{app} counters from Hypervisor::metrics(); \
+                this accessor only retains the most recent round"
+    )]
     pub fn last_round_host_costs(&self) -> &[(u64, u64)] {
         &self.last_round_host_ns
     }
@@ -417,6 +427,19 @@ impl Hypervisor {
         self.tier = Some(tier);
         for slot in self.apps.values_mut() {
             let _ = slot.runtime_mut().set_compiled_tier(tier);
+        }
+    }
+
+    /// Selects the netlist optimization level for every current and future
+    /// tenant (see [`Runtime::set_opt_level`]): programs on the compiled
+    /// engine rebuild immediately; others pick the level up at their next
+    /// migration. Like the tier, the level is host policy — it never enters
+    /// checkpoint wire formats and migrating tenants adopt the destination
+    /// host's level.
+    pub fn set_opt_level(&mut self, level: OptLevel) {
+        self.opt_level = Some(level);
+        for slot in self.apps.values_mut() {
+            let _ = slot.runtime_mut().set_opt_level(level);
         }
     }
 
@@ -461,6 +484,9 @@ impl Hypervisor {
         // always works); undeploy surfaces internal lowering failures.
         if let Some(tier) = self.tier {
             let _ = runtime.set_compiled_tier(tier);
+        }
+        if let Some(level) = self.opt_level {
+            let _ = runtime.set_opt_level(level);
         }
         let _ = apply_software_policy(self.policy, &mut runtime);
         let id = AppId(self.next_app);

@@ -1,0 +1,316 @@
+//! Shared bytecode analyses for the optimization passes: stack-effect
+//! tables, speculation legality, branch-target bookkeeping, basic-block
+//! discovery, producer-range tracking, and the splice editor that keeps
+//! branch targets consistent across structural rewrites.
+
+use synergy_codegen::ir::{Code, CompiledProgram, Op};
+
+/// `(pops, pushes)` for one bytecode instruction. Every [`Op`] has a fixed
+/// stack effect.
+pub(crate) fn stack_effect(op: &Op) -> (u32, u32) {
+    match op {
+        Op::PushConst(_)
+        | Op::PushNet(_)
+        | Op::PushMemElem0(_)
+        | Op::PushTime
+        | Op::PushValueReg
+        | Op::MemReadConst { .. }
+        | Op::PushTemp(_)
+        | Op::Fopen(_)
+        | Op::Random => (0, 1),
+        Op::MemRead(_) | Op::SliceConst { .. } | Op::Unary(_) | Op::Resize(_) | Op::Feof => (1, 1),
+        Op::BitSelect | Op::Binary(_) | Op::Concat2 | Op::ReplicateDyn => (2, 1),
+        Op::SliceDyn => (3, 1),
+        Op::Select => (3, 1),
+        Op::Jump(_)
+        | Op::JumpIfNotFinished(_)
+        | Op::CheckFinished(_)
+        | Op::LoopInit(_)
+        | Op::LoopCheck(_)
+        | Op::RepeatTest { .. }
+        | Op::PrintStr(_)
+        | Op::PrintFlush { .. }
+        | Op::Effect(_) => (0, 0),
+        Op::JumpIfZero(_)
+        | Op::JumpIfNonZero(_)
+        | Op::StoreTemp(_)
+        | Op::Pop
+        | Op::StoreNet(_)
+        | Op::StoreMemConst { .. }
+        | Op::NbSchedule(_)
+        | Op::RepeatInit(_)
+        | Op::Fread { .. }
+        | Op::Fclose
+        | Op::PrintVal
+        | Op::Finish => (1, 0),
+        Op::StoreMem(_) | Op::StoreBit(_) => (2, 0),
+        Op::StoreSliceDyn(_) => (3, 0),
+    }
+}
+
+/// `true` when `op` is pure, total, and cheap enough to evaluate
+/// speculatively (both arms of an if-conversion run unconditionally, and a
+/// deleted producer range must have had no side effects).
+///
+/// Notable exclusions: `ReplicateDyn` allocates an unbounded result from a
+/// runtime count; `Random` advances RNG state; `StoreTemp` writes the shared
+/// temp file; `Feof`/file ops touch the host environment.
+pub(crate) fn is_speculable(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::PushConst(_)
+            | Op::PushNet(_)
+            | Op::PushMemElem0(_)
+            | Op::PushTime
+            | Op::PushValueReg
+            | Op::PushTemp(_)
+            | Op::MemRead(_)
+            | Op::MemReadConst { .. }
+            | Op::BitSelect
+            | Op::SliceConst { .. }
+            | Op::SliceDyn
+            | Op::Unary(_)
+            | Op::Binary(_)
+            | Op::Concat2
+            | Op::Resize(_)
+            | Op::Select
+    )
+}
+
+/// The branch target of `op`, if it has one.
+pub(crate) fn branch_target(op: &Op) -> Option<u32> {
+    match op {
+        Op::Jump(t)
+        | Op::JumpIfZero(t)
+        | Op::JumpIfNonZero(t)
+        | Op::JumpIfNotFinished(t)
+        | Op::CheckFinished(t)
+        | Op::RepeatTest { end: t, .. }
+        | Op::Fread { skip: t, .. } => Some(*t),
+        _ => None,
+    }
+}
+
+fn target_mut(op: &mut Op) -> Option<&mut u32> {
+    match op {
+        Op::Jump(t)
+        | Op::JumpIfZero(t)
+        | Op::JumpIfNonZero(t)
+        | Op::JumpIfNotFinished(t)
+        | Op::CheckFinished(t)
+        | Op::RepeatTest { end: t, .. }
+        | Op::Fread { skip: t, .. } => Some(t),
+        _ => None,
+    }
+}
+
+/// `true` when some branch anywhere in `code`, other than the ops at the
+/// pcs listed in `exempt`, targets a pc strictly inside `(start, end)`.
+/// Rewrites that collapse a region must refuse in that case — an external
+/// entry into the interior would land mid-replacement.
+pub(crate) fn has_interior_target(code: &[Op], start: usize, end: usize, exempt: &[usize]) -> bool {
+    code.iter().enumerate().any(|(pc, op)| {
+        !exempt.contains(&pc)
+            && branch_target(op)
+                .map(|t| (t as usize) > start && (t as usize) < end)
+                .unwrap_or(false)
+    })
+}
+
+/// Replaces `code[start..end)` with `repl`, shifting every branch target
+/// past the region by the length delta. Targets at or before `start` and at
+/// or after `end` are preserved (the replacement must be a stack-and-effect
+/// drop-in for the region, so landing at `start` stays correct). Returns
+/// `false` without modifying `code` if any branch targets the interior.
+pub(crate) fn splice(code: &mut Code, start: usize, end: usize, repl: Vec<Op>) -> bool {
+    if has_interior_target(code, start, end, &[]) {
+        // Jumps inside the removed region itself may target the interior;
+        // re-check exempting them.
+        let interior: Vec<usize> = (start..end).collect();
+        if has_interior_target(code, start, end, &interior) {
+            return false;
+        }
+    }
+    let delta = repl.len() as i64 - (end - start) as i64;
+    code.splice(start..end, repl);
+    for op in code.iter_mut() {
+        if let Some(t) = target_mut(op) {
+            if *t as usize >= end {
+                *t = (*t as i64 + delta) as u32;
+            }
+        }
+    }
+    true
+}
+
+/// `true` when `op` ends a basic block (it branches, may branch, or may
+/// abort the program mid-flight).
+pub(crate) fn is_block_end(op: &Op) -> bool {
+    branch_target(op).is_some() || matches!(op, Op::Finish | Op::Effect(_) | Op::LoopCheck(_))
+}
+
+/// Basic-block boundaries of `code`: every `(start, end)` half-open range
+/// of straight-line ops. `Finish`/`Effect`/`LoopCheck` end blocks too (they
+/// can abort or re-enter the program, which the block-local passes treat as
+/// an observation barrier).
+pub(crate) fn blocks(code: &[Op]) -> Vec<(usize, usize)> {
+    let mut leaders = std::collections::BTreeSet::new();
+    leaders.insert(0);
+    for (pc, op) in code.iter().enumerate() {
+        if let Some(t) = branch_target(op) {
+            leaders.insert(t as usize);
+        }
+        if is_block_end(op) {
+            leaders.insert(pc + 1);
+        }
+    }
+    leaders.insert(code.len());
+    let ls: Vec<usize> = leaders.into_iter().collect();
+    ls.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Forward stack simulation over a straight-line range, tracking for each
+/// live stack slot the pc where its producing instruction range starts.
+/// `None` marks a slot whose producer is outside the range (or crosses an
+/// impure instruction), which the passes treat as non-deletable.
+pub(crate) struct StackSim {
+    /// Producer-range start per live slot, bottom to top.
+    pub starts: Vec<Option<usize>>,
+}
+
+impl StackSim {
+    pub(crate) fn new() -> Self {
+        StackSim { starts: Vec::new() }
+    }
+
+    /// Advances over `op` at `pc`, merging popped producer ranges into the
+    /// pushed slot (if any).
+    pub(crate) fn step(&mut self, pc: usize, op: &Op) {
+        let (pops, pushes) = stack_effect(op);
+        let mut start = Some(pc);
+        for _ in 0..pops {
+            match self.starts.pop() {
+                Some(Some(s)) => start = start.map(|cur| cur.min(s)),
+                _ => start = None,
+            }
+        }
+        for _ in 0..pushes {
+            self.starts.push(start);
+        }
+    }
+}
+
+/// `true` when every instruction in `code[start..end)` is speculable — the
+/// whole range can be deleted or duplicated without observable effects.
+pub(crate) fn pure_range(code: &[Op], start: usize, end: usize) -> bool {
+    code[start..end].iter().all(is_speculable)
+}
+
+/// Expected final stack depth of a program, by role.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProgKind {
+    /// Guard expressions leave their value on the stack.
+    Expr,
+    /// Bodies, initials, comb nodes, and nb-site programs end balanced.
+    Stmt,
+}
+
+/// Checks the stack discipline of one program: branch targets in bounds,
+/// no underflow on any path, consistent depth at every join, and the
+/// role-appropriate final depth. The pass manager runs this after every
+/// pass and reverts the pass if it fails, so a pass bug degrades to a
+/// missed optimization instead of a miscompile.
+pub(crate) fn check_code(code: &[Op], kind: ProgKind) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    for op in code {
+        if let Some(t) = branch_target(op) {
+            if t as usize > code.len() {
+                return Err(format!("branch target {} out of bounds", t));
+            }
+        }
+    }
+    // Worklist depth analysis over block starts.
+    let mut depth_in: BTreeMap<usize, i64> = BTreeMap::from([(0, 0)]);
+    let mut work = vec![0usize];
+    let mut final_depth: Option<i64> = None;
+    let merge = |depth_in: &mut BTreeMap<usize, i64>,
+                 work: &mut Vec<usize>,
+                 pc: usize,
+                 d: i64|
+     -> Result<(), String> {
+        match depth_in.get(&pc) {
+            Some(&old) if old == d => Ok(()),
+            Some(&old) => Err(format!("depth mismatch at pc {}: {} vs {}", pc, old, d)),
+            None => {
+                depth_in.insert(pc, d);
+                work.push(pc);
+                Ok(())
+            }
+        }
+    };
+    while let Some(start) = work.pop() {
+        let mut d = depth_in[&start];
+        let mut pc = start;
+        while pc < code.len() {
+            let op = &code[pc];
+            let (pops, pushes) = stack_effect(op);
+            d -= pops as i64;
+            if d < 0 {
+                return Err(format!("stack underflow at pc {}", pc));
+            }
+            d += pushes as i64;
+            if let Some(t) = branch_target(op) {
+                merge(&mut depth_in, &mut work, t as usize, d)?;
+                if matches!(op, Op::Jump(_)) {
+                    break;
+                }
+            }
+            pc += 1;
+            if pc < code.len()
+                && depth_in.contains_key(&pc)
+                && branch_target(&code[pc - 1]).is_some()
+            {
+                // Fall through into an already-seen block start.
+                merge(&mut depth_in, &mut work, pc, d)?;
+                break;
+            }
+        }
+        if pc >= code.len() {
+            match final_depth {
+                Some(f) if f != d => {
+                    return Err(format!("inconsistent final depth: {} vs {}", f, d))
+                }
+                _ => final_depth = Some(d),
+            }
+        }
+    }
+    let want = match kind {
+        ProgKind::Expr => 1,
+        ProgKind::Stmt => 0,
+    };
+    match final_depth {
+        Some(d) if d != want => Err(format!("final stack depth {} (expected {})", d, want)),
+        _ => Ok(()),
+    }
+}
+
+/// Runs [`check_code`] over every program in `prog`.
+pub(crate) fn check_program(prog: &CompiledProgram) -> Result<(), String> {
+    for (i, node) in prog.comb.iter().enumerate() {
+        check_code(&node.code, ProgKind::Stmt).map_err(|e| format!("comb node {}: {}", i, e))?;
+    }
+    for (i, a) in prog.always.iter().enumerate() {
+        for (j, (_, g)) in a.guards.iter().enumerate() {
+            check_code(g, ProgKind::Expr)
+                .map_err(|e| format!("always {} guard {}: {}", i, j, e))?;
+        }
+        check_code(&a.body, ProgKind::Stmt).map_err(|e| format!("always {} body: {}", i, e))?;
+    }
+    for (i, c) in prog.initials.iter().enumerate() {
+        check_code(c, ProgKind::Stmt).map_err(|e| format!("initial {}: {}", i, e))?;
+    }
+    for (i, c) in prog.nb_sites.iter().enumerate() {
+        check_code(c, ProgKind::Stmt).map_err(|e| format!("nb site {}: {}", i, e))?;
+    }
+    Ok(())
+}

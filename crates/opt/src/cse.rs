@@ -1,0 +1,620 @@
+//! Local value numbering: common-subexpression elimination, net-read
+//! forwarding, and redundant-store elimination over basic blocks.
+//!
+//! Each block is walked forward with an abstract stack of value numbers.
+//! A pure producer range whose value is already available — in a net whose
+//! current value number matches, in a temp, or as an earlier identical
+//! computation (which gets a `StoreTemp`/`PushTemp` tee) — is replaced by
+//! a single push. A `StoreNet` whose incoming value number equals the
+//! net's current one is deleted (the store layer's compare-equal makes it
+//! a no-op either way).
+//!
+//! Correctness leans on two rules. First, only fully speculable ranges are
+//! ever deleted or bypassed, so tees (`StoreTemp`) and other side effects
+//! are never removed by a containing rewrite. Second, non-blocking
+//! `NbSchedule` ops do **not** touch net state — a net read after an NB
+//! assignment still sees the pre-assignment value until the latch at the
+//! end of the delta, so merging reads across an NB boundary is exact (and
+//! treating the NB store like a blocking one would not be).
+
+use std::collections::HashMap;
+
+use crate::analysis::{blocks, pure_range, splice, stack_effect, StackSim};
+use synergy_codegen::ir::{self, Code, CompiledProgram, Op, Val};
+use synergy_vlog::ast::{BinaryOp, UnaryOp};
+
+/// Runs the pass; returns the number of rewrites.
+pub(crate) fn run(prog: &mut CompiledProgram) -> u64 {
+    let net_w: Vec<u32> = prog.nets.iter().map(|n| n.width).collect();
+    let mem_w: Vec<u32> = prog.mems.iter().map(|m| m.width).collect();
+    let consts = prog.consts.clone();
+    let mut n_temps = prog.n_temps;
+    let mut rewrites = 0u64;
+    let ctxs = Ctx {
+        net_w: &net_w,
+        mem_w: &mem_w,
+        consts: &consts,
+    };
+    {
+        let mut run_code = |code: &mut Code, in_comb: bool| {
+            for _ in 0..10 {
+                let n = cse_once(code, in_comb, &ctxs, &mut n_temps);
+                rewrites += n;
+                if n == 0 {
+                    break;
+                }
+            }
+        };
+        for node in &mut prog.comb {
+            run_code(&mut node.code, true);
+        }
+        for a in &mut prog.always {
+            for (_, g) in &mut a.guards {
+                run_code(g, false);
+            }
+            run_code(&mut a.body, false);
+        }
+        for c in &mut prog.initials {
+            run_code(c, false);
+        }
+        for c in &mut prog.nb_sites {
+            run_code(c, false);
+        }
+    }
+    prog.n_temps = n_temps;
+    if rewrites > 0 {
+        let _ = crate::relevel::rebuild_tables(prog);
+    }
+    rewrites
+}
+
+struct Ctx<'a> {
+    net_w: &'a [u32],
+    mem_w: &'a [u32],
+    consts: &'a [Val],
+}
+
+type VnId = u32;
+
+#[derive(Hash, PartialEq, Eq, Clone)]
+enum Key {
+    Const(u32),
+    UnkNet(u32),
+    UnkTemp(u32),
+    Entry(u32),
+    Opaque(u32),
+    Time,
+    ValueReg,
+    MemDyn(u32, u32, VnId),
+    MemElem(u32, u32, u32),
+    Un(u8, VnId),
+    Bin(u8, VnId, VnId),
+    Concat(VnId, VnId),
+    Resize(u32, VnId),
+    Slice(u32, u32, VnId),
+    BitSel(VnId, VnId),
+    SliceDyn(VnId, VnId, VnId),
+    Select(VnId, VnId, VnId),
+    Replicate(VnId, VnId),
+}
+
+#[derive(Clone)]
+struct Edit {
+    start: usize,
+    end: usize,
+    repl: Vec<Op>,
+}
+
+#[derive(Default)]
+struct Vn {
+    ids: HashMap<Key, VnId>,
+    width: Vec<Option<u32>>,
+    net_vn: HashMap<u32, VnId>,
+    temp_vn: HashMap<u32, VnId>,
+    mem_gen: HashMap<u32, u32>,
+    mem_elem_vn: HashMap<(u32, u32), VnId>,
+    avail_net: HashMap<VnId, u32>,
+    avail_temp: HashMap<VnId, u32>,
+    first: HashMap<VnId, (usize, usize)>,
+    entries: u32,
+}
+
+impl Vn {
+    fn intern(&mut self, key: Key, width: Option<u32>) -> VnId {
+        if let Some(&v) = self.ids.get(&key) {
+            return v;
+        }
+        let v = self.width.len() as VnId;
+        self.ids.insert(key, v);
+        self.width.push(width);
+        v
+    }
+
+    fn opaque(&mut self, pc: usize, width: Option<u32>) -> VnId {
+        // `Opaque` keys are unique per creation: reuse of the same pc in a
+        // later fixpoint iteration starts from a fresh `Vn` anyway.
+        self.entries += 1;
+        let tag = self.entries;
+        self.intern(Key::Opaque(pc as u32 ^ (tag << 20)), width)
+    }
+}
+
+/// One analyze-and-apply sweep over `code`; returns rewrites applied.
+fn cse_once(code: &mut Code, in_comb: bool, ctx: &Ctx, n_temps: &mut u32) -> u64 {
+    let mut edits: Vec<Edit> = Vec::new();
+    for (bs, be) in blocks(code) {
+        analyze_block(code, bs, be, in_comb, ctx, n_temps, &mut edits);
+    }
+    if edits.is_empty() {
+        return 0;
+    }
+    // Apply bottom-up; for equal starts apply the wider edit first so a tee
+    // inserted at a replacement's start lands before the replacement.
+    edits.sort_by(|a, b| b.start.cmp(&a.start).then(b.end.cmp(&a.end)));
+    let mut applied = 0u64;
+    for e in edits {
+        if splice(code, e.start, e.end, e.repl) {
+            applied += 1;
+        }
+    }
+    applied
+}
+
+fn bin_width(op: BinaryOp, aw: Option<u32>, bw: Option<u32>) -> Option<u32> {
+    let (aw, bw) = (aw?, bw?);
+    Some(ir::binary(op, &Val::zero(aw as usize), &Val::zero(bw as usize)).width())
+}
+
+fn un_width(op: UnaryOp, aw: Option<u32>) -> Option<u32> {
+    Some(ir::unary(op, &Val::zero(aw? as usize)).width())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_block(
+    code: &[Op],
+    bs: usize,
+    be: usize,
+    in_comb: bool,
+    ctx: &Ctx,
+    n_temps: &mut u32,
+    edits: &mut Vec<Edit>,
+) {
+    let mut vn = Vn::default();
+    let mut sim = StackSim::new();
+    let mut stack: Vec<VnId> = Vec::new();
+    let mut stored_here: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut kept: Vec<(usize, usize)> = Vec::new();
+    let mut tees: Vec<usize> = Vec::new();
+
+    let overlaps = |kept: &[(usize, usize)], tees: &[usize], s: usize, e: usize| {
+        kept.iter().any(|&(ks, ke)| s < ke && ks < e) || tees.iter().any(|&t| t > s && t < e)
+    };
+
+    for pc in bs..be {
+        let op = &code[pc];
+        // Pop value numbers in sync with the stack simulator.
+        let (pops, _) = stack_effect(op);
+        let mut args: Vec<VnId> = Vec::new();
+        for _ in 0..pops {
+            args.push(stack.pop().unwrap_or_else(|| {
+                vn.entries += 1;
+                let e = vn.entries;
+                vn.intern(Key::Entry(e), None)
+            }));
+        }
+        // args[0] is the old top of stack.
+        let range_start = sim.starts.last().cloned().flatten();
+        // The producing range of the value an op with 1+ pops consumes
+        // starts at the *deepest* popped slot's producer.
+        let full_start = {
+            let n = pops as usize;
+            let len = sim.starts.len();
+            if n == 0 || len < n {
+                None
+            } else {
+                sim.starts[len - n..]
+                    .iter()
+                    .try_fold(usize::MAX, |acc, s| s.map(|v| acc.min(v)))
+            }
+        };
+        sim.step(pc, op);
+
+        match op {
+            Op::PushConst(k) => {
+                let w = ctx.consts.get(*k as usize).map(|v| v.width());
+                let v = vn.intern(Key::Const(*k), w);
+                stack.push(v);
+            }
+            Op::PushNet(n) => {
+                let w = ctx.net_w.get(*n as usize).copied();
+                let v = match vn.net_vn.get(n) {
+                    Some(&v) => v,
+                    None => {
+                        let v = vn.intern(Key::UnkNet(*n), w);
+                        vn.net_vn.insert(*n, v);
+                        vn.avail_net.insert(v, *n);
+                        v
+                    }
+                };
+                stack.push(v);
+            }
+            Op::PushTemp(t) => {
+                let v = match vn.temp_vn.get(t) {
+                    Some(&v) => v,
+                    None => {
+                        let v = vn.intern(Key::UnkTemp(*t), None);
+                        vn.temp_vn.insert(*t, v);
+                        v
+                    }
+                };
+                stack.push(v);
+            }
+            Op::PushTime => {
+                let v = vn.intern(Key::Time, Some(64));
+                stack.push(v);
+            }
+            Op::PushValueReg => {
+                let v = vn.intern(Key::ValueReg, None);
+                stack.push(v);
+            }
+            Op::PushMemElem0(m) | Op::MemReadConst { mem: m, elem: _ } => {
+                let elem = match op {
+                    Op::MemReadConst { elem, .. } => *elem,
+                    _ => 0,
+                };
+                let w = ctx.mem_w.get(*m as usize).copied();
+                let v = match vn.mem_elem_vn.get(&(*m, elem)) {
+                    Some(&v) => v,
+                    None => {
+                        let gen = *vn.mem_gen.get(m).unwrap_or(&0);
+                        let v = vn.intern(Key::MemElem(*m, elem, gen), w);
+                        vn.mem_elem_vn.insert((*m, elem), v);
+                        v
+                    }
+                };
+                stack.push(v);
+                if let Some(e) = value_reuse(
+                    code,
+                    pc,
+                    full_start,
+                    v,
+                    &vn,
+                    &stored_here,
+                    &kept,
+                    &tees,
+                    edits,
+                ) {
+                    commit(e, &mut kept, &mut tees, edits);
+                }
+            }
+            Op::MemRead(m) => {
+                let gen = *vn.mem_gen.get(m).unwrap_or(&0);
+                let w = ctx.mem_w.get(*m as usize).copied();
+                let v = vn.intern(Key::MemDyn(*m, gen, args[0]), w);
+                stack.push(v);
+                reuse_or_tee(
+                    code,
+                    pc,
+                    full_start,
+                    v,
+                    &mut vn,
+                    &stored_here,
+                    &mut kept,
+                    &mut tees,
+                    n_temps,
+                    edits,
+                );
+            }
+            Op::BitSelect
+            | Op::SliceConst { .. }
+            | Op::SliceDyn
+            | Op::Unary(_)
+            | Op::Binary(_)
+            | Op::Concat2
+            | Op::Resize(_)
+            | Op::Select
+            | Op::ReplicateDyn => {
+                let v = expr_vn(op, &args, &mut vn);
+                stack.push(v);
+                if !matches!(op, Op::ReplicateDyn) {
+                    reuse_or_tee(
+                        code,
+                        pc,
+                        full_start,
+                        v,
+                        &mut vn,
+                        &stored_here,
+                        &mut kept,
+                        &mut tees,
+                        n_temps,
+                        edits,
+                    );
+                }
+            }
+            Op::StoreNet(n) => {
+                let declw = ctx.net_w[*n as usize];
+                let v = args[0];
+                let tvn = if vn.width[v as usize] == Some(declw) {
+                    v
+                } else {
+                    vn.intern(Key::Resize(declw, v), Some(declw))
+                };
+                if vn.net_vn.get(n) == Some(&tvn) {
+                    // Redundant store: the net already holds this value.
+                    let e = match full_start {
+                        Some(s)
+                            if pure_range(code, s, pc) && !overlaps(&kept, &tees, s, pc + 1) =>
+                        {
+                            Edit {
+                                start: s,
+                                end: pc + 1,
+                                repl: Vec::new(),
+                            }
+                        }
+                        _ if !overlaps(&kept, &tees, pc, pc + 1) => Edit {
+                            start: pc,
+                            end: pc + 1,
+                            repl: vec![Op::Pop],
+                        },
+                        _ => continue,
+                    };
+                    commit(e, &mut kept, &mut tees, edits);
+                } else {
+                    vn.net_vn.insert(*n, tvn);
+                    vn.avail_net.insert(tvn, *n);
+                    stored_here.insert(*n);
+                }
+            }
+            Op::StoreTemp(t) => {
+                vn.temp_vn.insert(*t, args[0]);
+                vn.avail_temp.insert(args[0], *t);
+            }
+            Op::StoreBit(n) | Op::StoreSliceDyn(n) => {
+                let v = vn.opaque(pc, ctx.net_w.get(*n as usize).copied());
+                vn.net_vn.insert(*n, v);
+                stored_here.insert(*n);
+            }
+            Op::StoreMem(m) => {
+                *vn.mem_gen.entry(*m).or_insert(0) += 1;
+                vn.mem_elem_vn.retain(|&(mm, _), _| mm != *m);
+            }
+            Op::StoreMemConst { mem, elem } => {
+                let declw = ctx.mem_w[*mem as usize];
+                let v = args[0];
+                let tvn = if vn.width[v as usize] == Some(declw) {
+                    v
+                } else {
+                    vn.intern(Key::Resize(declw, v), Some(declw))
+                };
+                if vn.mem_elem_vn.get(&(*mem, *elem)) == Some(&tvn) {
+                    if let Some(s) = full_start {
+                        if pure_range(code, s, pc) && !overlaps(&kept, &tees, s, pc + 1) {
+                            commit(
+                                Edit {
+                                    start: s,
+                                    end: pc + 1,
+                                    repl: Vec::new(),
+                                },
+                                &mut kept,
+                                &mut tees,
+                                edits,
+                            );
+                            continue;
+                        }
+                    }
+                    if !overlaps(&kept, &tees, pc, pc + 1) {
+                        commit(
+                            Edit {
+                                start: pc,
+                                end: pc + 1,
+                                repl: vec![Op::Pop],
+                            },
+                            &mut kept,
+                            &mut tees,
+                            edits,
+                        );
+                    }
+                } else {
+                    *vn.mem_gen.entry(*mem).or_insert(0) += 1;
+                    vn.mem_elem_vn.insert((*mem, *elem), tvn);
+                }
+            }
+            // Everything else: effects on the environment or control flow
+            // only. Value-producing ones push opaque numbers.
+            other => {
+                let (_, pushes) = stack_effect(other);
+                for _ in 0..pushes {
+                    let v = vn.opaque(pc, None);
+                    stack.push(v);
+                }
+            }
+        }
+
+        // Record the first pure producing range of each value number.
+        if let (Some(s), Some(&v)) = (sim.starts.last().cloned().flatten(), stack.last()) {
+            let end = pc + 1;
+            if end > s && pure_range(code, s, end) {
+                vn.first.entry(v).or_insert((s, end));
+            }
+        }
+        let _ = range_start;
+    }
+
+    // Unused-binding silencer for contexts without stores.
+    let _ = in_comb;
+}
+
+/// Value numbers for pure expression ops over already-numbered operands.
+/// `args` holds popped operands top-first (`args[0]` was the top of stack).
+fn expr_vn(op: &Op, args: &[VnId], vn: &mut Vn) -> VnId {
+    let w = |vn: &Vn, v: VnId| vn.width[v as usize];
+    match op {
+        Op::Unary(u) => {
+            let a = args[0];
+            let width = un_width(*u, w(vn, a));
+            vn.intern(Key::Un(*u as u8, a), width)
+        }
+        Op::Binary(b) => {
+            let (rhs, lhs) = (args[0], args[1]);
+            let width = bin_width(*b, w(vn, lhs), w(vn, rhs));
+            vn.intern(Key::Bin(*b as u8, lhs, rhs), width)
+        }
+        Op::Concat2 => {
+            let (rhs, lhs) = (args[0], args[1]);
+            let width = match (w(vn, lhs), w(vn, rhs)) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            };
+            vn.intern(Key::Concat(lhs, rhs), width)
+        }
+        Op::Resize(to) => {
+            let a = args[0];
+            if w(vn, a) == Some(*to) {
+                a
+            } else {
+                vn.intern(Key::Resize(*to, a), Some(*to))
+            }
+        }
+        Op::SliceConst { hi, lo } => {
+            let a = args[0];
+            vn.intern(Key::Slice(*hi, *lo, a), Some(hi - lo + 1))
+        }
+        Op::BitSelect => {
+            let (idx, base) = (args[0], args[1]);
+            vn.intern(Key::BitSel(base, idx), Some(1))
+        }
+        Op::SliceDyn => {
+            let (lo, hi, base) = (args[0], args[1], args[2]);
+            vn.intern(Key::SliceDyn(base, hi, lo), None)
+        }
+        Op::Select => {
+            let (b, a, c) = (args[0], args[1], args[2]);
+            if a == b {
+                return a;
+            }
+            let width = match (w(vn, a), w(vn, b)) {
+                (Some(x), Some(y)) if x == y => Some(x),
+                _ => None,
+            };
+            vn.intern(Key::Select(c, a, b), width)
+        }
+        Op::ReplicateDyn => {
+            let (v, n) = (args[0], args[1]);
+            vn.intern(Key::Replicate(n, v), None)
+        }
+        _ => unreachable!("expr_vn called on non-expression op"),
+    }
+}
+
+/// Tries to replace the pure producing range ending at `pc` with a read of
+/// an existing location holding the same value.
+#[allow(clippy::too_many_arguments)]
+fn value_reuse(
+    code: &[Op],
+    pc: usize,
+    full_start: Option<usize>,
+    v: VnId,
+    vn: &Vn,
+    stored_here: &std::collections::HashSet<u32>,
+    kept: &[(usize, usize)],
+    tees: &[usize],
+    _edits: &[Edit],
+) -> Option<Edit> {
+    let s = full_start?;
+    let end = pc + 1;
+    if end - s < 2 || !pure_range(code, s, end) {
+        return None;
+    }
+    if kept.iter().any(|&(ks, ke)| s < ke && ks < end) || tees.iter().any(|&t| t > s && t < end) {
+        return None;
+    }
+    if let Some(&n) = vn.avail_net.get(&v) {
+        if vn.net_vn.get(&n) == Some(&v) && !stored_here.contains(&n) {
+            return Some(Edit {
+                start: s,
+                end,
+                repl: vec![Op::PushNet(n)],
+            });
+        }
+    }
+    if let Some(&t) = vn.avail_temp.get(&v) {
+        if vn.temp_vn.get(&t) == Some(&v) {
+            return Some(Edit {
+                start: s,
+                end,
+                repl: vec![Op::PushTemp(t)],
+            });
+        }
+    }
+    None
+}
+
+fn commit(e: Edit, kept: &mut Vec<(usize, usize)>, tees: &mut Vec<usize>, edits: &mut Vec<Edit>) {
+    if e.start == e.end {
+        tees.push(e.start);
+    } else {
+        kept.push((e.start, e.end));
+    }
+    edits.push(e);
+}
+
+/// [`value_reuse`], falling back to creating a tee at the first identical
+/// computation when no location already holds the value.
+#[allow(clippy::too_many_arguments)]
+fn reuse_or_tee(
+    code: &[Op],
+    pc: usize,
+    full_start: Option<usize>,
+    v: VnId,
+    vn: &mut Vn,
+    stored_here: &std::collections::HashSet<u32>,
+    kept: &mut Vec<(usize, usize)>,
+    tees: &mut Vec<usize>,
+    n_temps: &mut u32,
+    edits: &mut Vec<Edit>,
+) {
+    if let Some(e) = value_reuse(code, pc, full_start, v, vn, stored_here, kept, tees, edits) {
+        commit(e, kept, tees, edits);
+        return;
+    }
+    // Tee: first identical computation exists earlier in the block.
+    let Some(&(fs, fe)) = vn.first.get(&v) else {
+        return;
+    };
+    let Some(s) = full_start else { return };
+    let end = pc + 1;
+    if fe > s || end - s < 2 || !pure_range(code, s, end) {
+        return;
+    }
+    if kept.iter().any(|&(ks, ke)| s < ke && ks < end)
+        || tees.iter().any(|&t| t > s && t < end)
+        || kept.iter().any(|&(ks, ke)| fe > ks && fe < ke)
+    {
+        return;
+    }
+    let _ = fs;
+    let t = *n_temps;
+    *n_temps += 1;
+    commit(
+        Edit {
+            start: fe,
+            end: fe,
+            repl: vec![Op::StoreTemp(t), Op::PushTemp(t)],
+        },
+        kept,
+        tees,
+        edits,
+    );
+    commit(
+        Edit {
+            start: s,
+            end,
+            repl: vec![Op::PushTemp(t)],
+        },
+        kept,
+        tees,
+        edits,
+    );
+    vn.temp_vn.insert(t, v);
+    vn.avail_temp.insert(v, t);
+}

@@ -1,0 +1,154 @@
+//! Dead-store elimination: removes a `StoreNet`/`StoreMemConst` whose
+//! target is definitely overwritten later in the same basic block with no
+//! intervening read or observation point.
+//!
+//! The scan is backward per block. Observation points that end deadness
+//! for *all* slots are the ops that can snapshot or abort the design
+//! mid-program: `LoopCheck` (can yield to a checkpoint), `Finish`, and
+//! `Effect` (can run `$save`). Partial stores (`StoreBit`,
+//! `StoreSliceDyn`) read their target implicitly and therefore count as
+//! reads. Non-blocking `NbSchedule` is not a barrier: its latch runs after
+//! the block completes and sees final values either way.
+
+use std::collections::HashSet;
+
+use crate::analysis::{blocks, pure_range, splice, stack_effect};
+use synergy_codegen::ir::{Code, CompiledProgram, Op};
+
+/// Runs the pass; returns the number of stores removed.
+pub(crate) fn run(prog: &mut CompiledProgram) -> u64 {
+    let mut rewrites = 0u64;
+    for node in &mut prog.comb {
+        rewrites += dse_code(&mut node.code);
+    }
+    for a in &mut prog.always {
+        for (_, g) in &mut a.guards {
+            rewrites += dse_code(g);
+        }
+        rewrites += dse_code(&mut a.body);
+    }
+    for c in &mut prog.initials {
+        rewrites += dse_code(c);
+    }
+    for c in &mut prog.nb_sites {
+        rewrites += dse_code(c);
+    }
+    if rewrites > 0 {
+        let _ = crate::relevel::rebuild_tables(prog);
+    }
+    rewrites
+}
+
+fn dse_code(code: &mut Code) -> u64 {
+    let mut rewrites = 0u64;
+    loop {
+        let mut edits: Vec<(usize, usize, Vec<Op>)> = Vec::new();
+        for (bs, be) in blocks(code) {
+            analyze_block(code, bs, be, &mut edits);
+        }
+        if edits.is_empty() {
+            return rewrites;
+        }
+        edits.sort_by_key(|e| std::cmp::Reverse(e.0));
+        let mut applied = 0u64;
+        for (s, e, repl) in edits {
+            if splice(code, s, e, repl) {
+                applied += 1;
+            }
+        }
+        rewrites += applied;
+        if applied == 0 {
+            return rewrites;
+        }
+    }
+}
+
+fn analyze_block(code: &[Op], bs: usize, be: usize, edits: &mut Vec<(usize, usize, Vec<Op>)>) {
+    // Forward pass: the start of the pure producing range feeding each op's
+    // deepest operand (mirrors the stack simulator in `cse`).
+    let mut sim = crate::analysis::StackSim::new();
+    let mut full_start: Vec<Option<usize>> = vec![None; be - bs];
+    for pc in bs..be {
+        let op = &code[pc];
+        let (pops, _) = stack_effect(op);
+        let n = pops as usize;
+        let len = sim.starts.len();
+        full_start[pc - bs] = if n == 0 || len < n {
+            None
+        } else {
+            sim.starts[len - n..]
+                .iter()
+                .try_fold(usize::MAX, |acc, s| s.map(|v| acc.min(v)))
+        };
+        sim.step(pc, op);
+    }
+
+    // Backward pass: a slot is dead at `pc` when it is stored again before
+    // any read or observation point.
+    let mut dead_nets: HashSet<u32> = HashSet::new();
+    let mut dead_elems: HashSet<(u32, u32)> = HashSet::new();
+    let mut kept: Vec<(usize, usize)> = Vec::new();
+    for pc in (bs..be).rev() {
+        match &code[pc] {
+            Op::StoreNet(n) => {
+                if dead_nets.contains(n) {
+                    push_delete(code, pc, full_start[pc - bs], &mut kept, edits);
+                }
+                dead_nets.insert(*n);
+            }
+            Op::StoreMemConst { mem, elem } => {
+                if dead_elems.contains(&(*mem, *elem)) {
+                    push_delete(code, pc, full_start[pc - bs], &mut kept, edits);
+                }
+                dead_elems.insert((*mem, *elem));
+            }
+            Op::PushNet(n) => {
+                dead_nets.remove(n);
+            }
+            Op::StoreBit(n) | Op::StoreSliceDyn(n) => {
+                dead_nets.remove(n);
+            }
+            Op::PushMemElem0(m) => {
+                dead_elems.remove(&(*m, 0));
+            }
+            Op::MemReadConst { mem, elem } => {
+                dead_elems.remove(&(*mem, *elem));
+            }
+            Op::MemRead(m) | Op::StoreMem(m) => {
+                // Dynamic access: unknown element. A read revives the whole
+                // memory; a dynamic store also stops elimination (deleting
+                // an earlier const store would change what it overwrites).
+                dead_elems.retain(|&(mm, _)| mm != *m);
+            }
+            Op::LoopCheck(_) | Op::Finish | Op::Effect(_) => {
+                dead_nets.clear();
+                dead_elems.clear();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Queues deletion of the dead store at `pc`: the whole producing range
+/// when it is pure, otherwise just the store (replaced by a `Pop`).
+fn push_delete(
+    code: &[Op],
+    pc: usize,
+    start: Option<usize>,
+    kept: &mut Vec<(usize, usize)>,
+    edits: &mut Vec<(usize, usize, Vec<Op>)>,
+) {
+    let overlaps =
+        |kept: &[(usize, usize)], s: usize, e: usize| kept.iter().any(|&(ks, ke)| s < ke && ks < e);
+    match start {
+        Some(s) if pure_range(code, s, pc) && !overlaps(kept, s, pc + 1) => {
+            kept.push((s, pc + 1));
+            edits.push((s, pc + 1, Vec::new()));
+        }
+        _ if !overlaps(kept, pc, pc + 1) => {
+            kept.push((pc, pc + 1));
+            edits.push((pc, pc + 1, vec![Op::Pop]));
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,308 @@
+//! Non-blocking-to-direct-store conversion: rewrites `Op::NbSchedule`
+//! into an immediate [`Op::StoreNet`] when the latch delay is provably
+//! unobservable. Converted registers skip the per-tick latch machinery
+//! (value boxing, pending-queue traffic) and — once a design has no live
+//! schedules left in a settle — the engine converges in one
+//! evaluate/update round instead of two, which is most of the fixed
+//! per-tick overhead on small designs.
+//!
+//! A register `r` converts only when every observer already sees the
+//! post-latch value under both schedules:
+//!
+//! * every write to `r` is an `NbSchedule` of the plain site shape
+//!   `[PushValueReg, StoreNet(r)]`, and every one of those schedules
+//!   sits in a single always body (the *owner*) — RMW sites
+//!   (bit/slice latches), guard/comb/initial schedules, and mixed
+//!   blocking writes all disqualify;
+//! * the owner never reads `r` at or after its first schedule, and no
+//!   backward branch crosses a schedule (a loop iteration would read
+//!   the pre-latch value under NB but the stored one after conversion);
+//! * no other always block reads `r` or any net in its combinational
+//!   cone (body, guard, or `@*` sensitivity), and no guard anywhere
+//!   depends on the cone — so nothing can fire, or fire earlier,
+//!   because the store landed mid-evaluate;
+//! * procedural code never writes into the cone (single-driver comb
+//!   only);
+//! * if the owner itself reads `r` (before the first schedule) or reads
+//!   cone nets, the owner must be statically single-fire per settle:
+//!   every guard is a plain-net edge on an externally driven net (a
+//!   clock input), which toggles at most once per settle. A multi-fire
+//!   owner would otherwise see the stored value on its second pass where
+//!   NB semantics still show the old one.
+//!
+//! Under those conditions the only in-settle observer of `r` is its own
+//! comb cone, and the cone is re-propagated before anything reads it in
+//! both schedules, so `StateSnapshot`s, `$display` output, and effects
+//! stay bit-identical (enforced by the differential corpus and the
+//! pass-subset property tests).
+
+use crate::analysis::branch_target;
+use crate::relevel::slot_use;
+use std::collections::BTreeSet;
+use synergy_codegen::ir::{CompiledProgram, Op};
+use synergy_vlog::ast::Edge;
+
+/// Runs the pass; returns the number of schedules converted.
+pub(crate) fn run(prog: &mut CompiledProgram) -> u64 {
+    // Plain latch sites: `[PushValueReg, StoreNet(n)]` → n.
+    let simple_site: Vec<Option<u32>> = prog
+        .nb_sites
+        .iter()
+        .map(|code| match code.as_slice() {
+            [Op::PushValueReg, Op::StoreNet(n)] => Some(*n),
+            _ => None,
+        })
+        .collect();
+
+    // Where each site is scheduled from: always bodies by index, or
+    // anywhere else (guards, comb, initials, other sites) which
+    // disqualifies the target net outright.
+    let mut site_owner: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); prog.nb_sites.len()];
+    let mut site_escapes: Vec<bool> = vec![false; prog.nb_sites.len()];
+    let scan_sched = |code: &[Op],
+                      owner: Option<usize>,
+                      site_owner: &mut Vec<BTreeSet<usize>>,
+                      site_escapes: &mut Vec<bool>| {
+        for op in code {
+            if let Op::NbSchedule(s) = op {
+                match owner {
+                    Some(b) => {
+                        site_owner[*s as usize].insert(b);
+                    }
+                    None => site_escapes[*s as usize] = true,
+                }
+            }
+        }
+    };
+    for (b, a) in prog.always.iter().enumerate() {
+        scan_sched(&a.body, Some(b), &mut site_owner, &mut site_escapes);
+        for (_, g) in &a.guards {
+            scan_sched(g, None, &mut site_owner, &mut site_escapes);
+        }
+    }
+    for node in &prog.comb {
+        scan_sched(&node.code, None, &mut site_owner, &mut site_escapes);
+    }
+    for code in &prog.initials {
+        scan_sched(code, None, &mut site_owner, &mut site_escapes);
+    }
+    for code in &prog.nb_sites {
+        scan_sched(code, None, &mut site_owner, &mut site_escapes);
+    }
+
+    // Nets written procedurally anywhere (bodies, initials, site latch
+    // programs): used both to find competing writers and to prove a
+    // guard net is externally driven.
+    let mut proc_writes: Vec<BTreeSet<u32>> = Vec::new(); // per always body
+    let mut other_writes: BTreeSet<u32> = BTreeSet::new(); // initials + sites
+    for a in &prog.always {
+        proc_writes.push(slot_use(&a.body).write_nets);
+    }
+    for code in &prog.initials {
+        other_writes.extend(slot_use(code).write_nets);
+    }
+    for (s, code) in prog.nb_sites.iter().enumerate() {
+        let w = slot_use(code).write_nets;
+        // A site only writes when something schedules it.
+        if !site_owner[s].is_empty() || site_escapes[s] {
+            other_writes.extend(w);
+        }
+    }
+
+    let mut rewrites = 0u64;
+    let candidates: Vec<u32> = (0..prog.nets.len() as u32)
+        .filter(|&n| prog.nets[n as usize].is_register)
+        .collect();
+    for n in candidates {
+        if let Some(owner) = conversion_owner(
+            prog,
+            n,
+            &simple_site,
+            &site_owner,
+            &site_escapes,
+            &proc_writes,
+            &other_writes,
+        ) {
+            let body = &mut prog.always[owner].body;
+            for op in body.iter_mut() {
+                if let Op::NbSchedule(s) = op {
+                    if simple_site[*s as usize] == Some(n) {
+                        *op = Op::StoreNet(n);
+                        rewrites += 1;
+                    }
+                }
+            }
+        }
+    }
+    if rewrites > 0 {
+        let _ = crate::relevel::rebuild_tables(prog);
+    }
+    rewrites
+}
+
+/// Checks every legality condition for net `n`; returns the owning
+/// always-block index if `n` is convertible.
+#[allow(clippy::too_many_arguments)]
+fn conversion_owner(
+    prog: &CompiledProgram,
+    n: u32,
+    simple_site: &[Option<u32>],
+    site_owner: &[BTreeSet<usize>],
+    site_escapes: &[bool],
+    proc_writes: &[BTreeSet<u32>],
+    other_writes: &BTreeSet<u32>,
+) -> Option<usize> {
+    // All sites targeting n must be plain latches scheduled from exactly
+    // one body.
+    let mut owner: Option<usize> = None;
+    let mut n_sites: Vec<u32> = Vec::new();
+    for (s, code) in prog.nb_sites.iter().enumerate() {
+        if !slot_use(code).write_nets.contains(&n) {
+            continue;
+        }
+        if simple_site[s] != Some(n) || site_escapes[s] {
+            return None;
+        }
+        if site_owner[s].is_empty() {
+            continue; // never scheduled; inert
+        }
+        if site_owner[s].len() > 1 {
+            return None;
+        }
+        let b = *site_owner[s].iter().next().unwrap();
+        if *owner.get_or_insert(b) != b {
+            return None;
+        }
+        n_sites.push(s as u32);
+    }
+    let owner = owner?;
+
+    // No blocking writes to n anywhere (bodies write via slot_use;
+    // initial stores are fine — they run once, before any body, under
+    // both schedules — so only always bodies are checked here).
+    if proc_writes.iter().any(|w| w.contains(&n)) {
+        return None;
+    }
+
+    // Owner-body positional checks.
+    let body = &prog.always[owner].body;
+    let mut site_pcs: Vec<usize> = Vec::new();
+    for (pc, op) in body.iter().enumerate() {
+        if let Op::NbSchedule(s) = op {
+            if simple_site[*s as usize] == Some(n) {
+                site_pcs.push(pc);
+            }
+        }
+    }
+    let first_site = *site_pcs.first()?;
+    // No read of n at or after the first schedule.
+    let mut owner_reads_n = false;
+    for (pc, op) in body.iter().enumerate() {
+        if let Op::PushNet(r) = op {
+            if *r == n {
+                if pc >= first_site {
+                    return None;
+                }
+                owner_reads_n = true;
+            }
+        }
+    }
+    // No backward branch crossing a schedule.
+    for (pc, op) in body.iter().enumerate() {
+        if let Some(t) = branch_target(op) {
+            let t = t as usize;
+            if t <= pc && site_pcs.iter().any(|&s| t <= s && s <= pc) {
+                return None;
+            }
+        }
+    }
+
+    // Combinational cone of n.
+    let mut cone: BTreeSet<u32> = BTreeSet::new();
+    cone.insert(n);
+    loop {
+        let before = cone.len();
+        for node in &prog.comb {
+            let u = slot_use(&node.code);
+            if u.reads_nets.iter().any(|r| cone.contains(r)) {
+                cone.extend(u.write_nets);
+            }
+        }
+        if cone.len() == before {
+            break;
+        }
+    }
+    let strict_cone: BTreeSet<u32> = cone.iter().copied().filter(|&c| c != n).collect();
+
+    // Procedural code must not write into the cone (beyond n itself).
+    if strict_cone.iter().any(|c| other_writes.contains(c))
+        || proc_writes
+            .iter()
+            .any(|w| w.iter().any(|c| strict_cone.contains(c)))
+    {
+        return None;
+    }
+
+    // Nothing outside the owner may observe n or its cone, and no guard
+    // anywhere (owner included) may depend on it.
+    let mut owner_reads_cone = false;
+    for (b, a) in prog.always.iter().enumerate() {
+        for (_, g) in &a.guards {
+            if slot_use(g).reads_nets.iter().any(|r| cone.contains(r)) {
+                return None;
+            }
+        }
+        for s in &a.star {
+            if let synergy_codegen::SlotRef::Net(r) = s {
+                if cone.contains(r) {
+                    return None;
+                }
+            }
+        }
+        let body_reads = slot_use(&a.body).reads_nets;
+        if b == owner {
+            owner_reads_cone = body_reads.iter().any(|r| strict_cone.contains(r));
+        } else if body_reads.iter().any(|r| cone.contains(r)) {
+            return None;
+        }
+    }
+    // Latch programs of other registers must not read the cone either
+    // (they run between evaluate rounds).
+    for code in &prog.nb_sites {
+        if slot_use(code).reads_nets.iter().any(|r| cone.contains(r)) {
+            return None;
+        }
+    }
+    // Initials: conservative — they run once before any body, but keep
+    // the rule simple and bail on any cone read.
+    for code in &prog.initials {
+        if slot_use(code).reads_nets.iter().any(|r| cone.contains(r)) {
+            return None;
+        }
+    }
+
+    // If the owner observes n (pre-schedule) or its cone, it must be
+    // provably single-fire per settle: plain-net edge guards on nets no
+    // procedural or combinational driver ever writes.
+    if owner_reads_n || owner_reads_cone {
+        let a = &prog.always[owner];
+        if a.guards.is_empty() {
+            return None; // `@*` owner can refire mid-settle
+        }
+        for (edge, g) in &a.guards {
+            if *edge == Edge::Any {
+                return None;
+            }
+            let [Op::PushNet(gn)] = g.as_slice() else {
+                return None;
+            };
+            let externally_driven = prog.net_driver[*gn as usize].is_none()
+                && !other_writes.contains(gn)
+                && !proc_writes.iter().any(|w| w.contains(gn));
+            if !externally_driven {
+                return None;
+            }
+        }
+    }
+    Some(owner)
+}

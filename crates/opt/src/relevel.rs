@@ -1,0 +1,134 @@
+//! Re-levelization: recomputes the driver-group tables (`net_deps`,
+//! `net_driver`, `mem_deps`, `mem_driver`) and topological levels from the
+//! combinational node code, after structural passes have rewritten it.
+//!
+//! Nodes stay in their existing order — the lowerer emits them in a valid
+//! topological order and every pass only *removes* dependencies, so the
+//! order remains topological. A forward sweep therefore suffices for
+//! levels; if a node ever reads a slot whose driver comes later (which no
+//! pass should produce), rebuilding fails and the pass manager reverts.
+
+use std::collections::BTreeSet;
+use synergy_codegen::ir::{CompiledProgram, Op};
+
+/// Nets and memories one code buffer reads and writes. Reads are value
+/// reads only (`PushNet` / memory loads): partial-store targets
+/// (`StoreBit`, `StoreSliceDyn`) count as writes, matching the lowerer.
+pub(crate) struct SlotUse {
+    pub reads_nets: BTreeSet<u32>,
+    pub reads_mems: BTreeSet<u32>,
+    pub write_nets: BTreeSet<u32>,
+    pub write_mems: BTreeSet<u32>,
+}
+
+/// Scans `code` for the slots it touches.
+pub(crate) fn slot_use(code: &[Op]) -> SlotUse {
+    let mut u = SlotUse {
+        reads_nets: BTreeSet::new(),
+        reads_mems: BTreeSet::new(),
+        write_nets: BTreeSet::new(),
+        write_mems: BTreeSet::new(),
+    };
+    for op in code {
+        match op {
+            Op::PushNet(n) => {
+                u.reads_nets.insert(*n);
+            }
+            Op::PushMemElem0(m) | Op::MemRead(m) => {
+                u.reads_mems.insert(*m);
+            }
+            Op::MemReadConst { mem, .. } => {
+                u.reads_mems.insert(*mem);
+            }
+            Op::StoreNet(n) | Op::StoreBit(n) | Op::StoreSliceDyn(n) => {
+                u.write_nets.insert(*n);
+            }
+            Op::StoreMem(m) => {
+                u.write_mems.insert(*m);
+            }
+            Op::StoreMemConst { mem, .. } => {
+                u.write_mems.insert(*mem);
+            }
+            _ => {}
+        }
+    }
+    u
+}
+
+/// Rebuilds the dependency tables and levels in place. Returns the number
+/// of nodes whose level changed, or an error if the node order is no
+/// longer topological (the caller reverts the offending pass).
+pub(crate) fn rebuild_tables(prog: &mut CompiledProgram) -> Result<u64, String> {
+    let uses: Vec<SlotUse> = prog.comb.iter().map(|n| slot_use(&n.code)).collect();
+
+    let mut net_deps: Vec<Vec<u32>> = vec![Vec::new(); prog.nets.len()];
+    let mut mem_deps: Vec<Vec<u32>> = vec![Vec::new(); prog.mems.len()];
+    let mut net_driver: Vec<Option<u32>> = vec![None; prog.nets.len()];
+    let mut mem_driver: Vec<Option<u32>> = vec![None; prog.mems.len()];
+    for (pos, u) in uses.iter().enumerate() {
+        for &r in &u.reads_nets {
+            net_deps[r as usize].push(pos as u32);
+        }
+        for &m in &u.reads_mems {
+            mem_deps[m as usize].push(pos as u32);
+        }
+        for &w in &u.write_nets {
+            net_driver[w as usize] = Some(pos as u32);
+        }
+        for &w in &u.write_mems {
+            mem_driver[w as usize] = Some(pos as u32);
+        }
+    }
+
+    let mut changed = 0u64;
+    let mut levels: Vec<u32> = Vec::with_capacity(prog.comb.len());
+    for (pos, u) in uses.iter().enumerate() {
+        let mut level = 1u32;
+        let mut dep = |driver: Option<u32>| -> Result<(), String> {
+            if let Some(d) = driver {
+                if d as usize >= pos {
+                    return Err(format!(
+                        "comb node {} reads a slot driven by node {} (not topological)",
+                        pos, d
+                    ));
+                }
+                level = level.max(levels[d as usize] + 1);
+            }
+            Ok(())
+        };
+        for &r in &u.reads_nets {
+            if u.write_nets.contains(&r) {
+                return Err(format!("comb node {} reads its own driven net {}", pos, r));
+            }
+            dep(net_driver[r as usize])?;
+        }
+        for &m in &u.reads_mems {
+            if u.write_mems.contains(&m) {
+                return Err(format!(
+                    "comb node {} reads its own driven memory {}",
+                    pos, m
+                ));
+            }
+            dep(mem_driver[m as usize])?;
+        }
+        levels.push(level);
+    }
+    for (node, &level) in prog.comb.iter_mut().zip(&levels) {
+        if node.level != level {
+            node.level = level;
+            changed += 1;
+        }
+    }
+    prog.net_deps = net_deps;
+    prog.mem_deps = mem_deps;
+    prog.net_driver = net_driver;
+    prog.mem_driver = mem_driver;
+    Ok(changed)
+}
+
+/// The `relevel` pass: canonicalizes tables and levels. Run last so any
+/// structural drift from earlier passes is squared away even when those
+/// passes are individually disabled.
+pub(crate) fn run(prog: &mut CompiledProgram) -> Result<u64, String> {
+    rebuild_tables(prog)
+}

@@ -365,14 +365,21 @@ impl Runtime {
         r.finish()?;
 
         // Rebuild the program and seat it on the checkpointed engine rung.
+        // The optimization level is deliberately NOT part of the wire format
+        // (snapshots carry architectural state only); the restoring host's
+        // environment decides, exactly as it decides the tier default.
         let design = synergy_vlog::compile(&source, &top)?;
+        let opt_level = crate::runtime::OptLevel::from_env();
         let mut compiled = None;
         let mut transformed = None;
         let mut engine: Box<dyn Engine> = match &mode {
             ExecMode::Software => Box::new(SoftwareEngine::new(design.clone(), clock.clone())),
             ExecMode::Compiled => {
-                let prog = synergy_codegen::compile(&design)?;
+                let mut prog = synergy_codegen::compile(&design)?;
                 compiled = Some(prog.clone());
+                if opt_level == crate::runtime::OptLevel::O1 {
+                    synergy_opt::optimize(&mut prog);
+                }
                 Box::new(CompiledEngine::from_program_with_tier(prog, &clock, tier)?)
             }
             ExecMode::Hardware(device) => {
@@ -416,6 +423,7 @@ impl Runtime {
             compiled,
             policy,
             tier,
+            opt_level,
             finished,
             telem: std::sync::Mutex::new(telem),
         })

@@ -26,6 +26,6 @@ pub use engine::{
     CompiledEngine, Engine, EngineCounters, EngineKind, HardwareEngine, SoftwareEngine, TickReport,
 };
 pub use runtime::{
-    CompiledTier, EnginePolicy, ExecMode, Profiler, RunReport, Runtime, RuntimeEvent, Sample,
-    MAX_PROFILER_SAMPLES,
+    CompiledTier, EnginePolicy, ExecMode, OptLevel, Profiler, RunReport, Runtime, RuntimeEvent,
+    Sample, MAX_PROFILER_SAMPLES,
 };

@@ -16,6 +16,7 @@ use std::sync::Mutex;
 pub use synergy_codegen::Tier as CompiledTier;
 use synergy_fpga::{BitstreamCache, Device, SimClock, SynthOptions};
 use synergy_interp::{BufferEnv, StateSnapshot, TaskEffect, Value};
+pub use synergy_opt::OptLevel;
 use synergy_telemetry::{Namespace, Telemetry, POW2_BUCKETS};
 use synergy_transform::{transform, TransformOptions, Transformed};
 use synergy_vlog::elaborate::ElabModule;
@@ -168,6 +169,12 @@ pub struct Runtime {
     /// Which compiled-engine tier to instantiate (default from the
     /// environment; see [`CompiledTier::from_env`]).
     pub(crate) tier: CompiledTier,
+    /// Whether the netlist optimization pipeline runs when a compiled
+    /// engine is constructed (default from the environment; see
+    /// [`OptLevel::from_env`]). The cached lowering in `compiled` always
+    /// stays unoptimized — passes run on a clone at engine construction —
+    /// and the level is **not** part of any checkpoint wire format.
+    pub(crate) opt_level: OptLevel,
     pub(crate) finished: Option<u32>,
     /// Per-tenant telemetry: metrics registry + flight recorder. Behind a
     /// `Mutex` so read-only paths (`&self`) can record too; the runtime is
@@ -175,6 +182,58 @@ pub struct Runtime {
     /// uncontended. Telemetry never enters the durable-checkpoint wire
     /// format — a restored runtime starts with fresh counters.
     pub(crate) telem: Mutex<Telemetry>,
+}
+
+/// Runs the optimization pipeline over a freshly cloned lowering (no-op at
+/// [`OptLevel::O0`]), recording per-pass statistics into the deterministic
+/// telemetry namespace: rewrite and revert counters per pass plus the total
+/// op shrinkage, so `fleetstat` can aggregate optimizer behaviour across a
+/// fleet.
+fn optimize_for_engine(
+    mut prog: synergy_codegen::CompiledProgram,
+    level: OptLevel,
+    telem: &mut Telemetry,
+    ticks: u64,
+) -> synergy_codegen::CompiledProgram {
+    if level == OptLevel::O0 {
+        return prog;
+    }
+    let before = prog.op_count() as u64;
+    let report = synergy_opt::optimize(&mut prog);
+    let after = prog.op_count() as u64;
+    for p in &report.passes {
+        telem.registry.counter_add(
+            Namespace::Det,
+            "opt_pass_rewrites_total",
+            &[("pass", p.name)],
+            p.rewrites,
+        );
+        if p.reverted {
+            telem.registry.counter_add(
+                Namespace::Det,
+                "opt_pass_reverts_total",
+                &[("pass", p.name)],
+                1,
+            );
+        }
+    }
+    telem.registry.counter_add(
+        Namespace::Det,
+        "opt_ops_removed_total",
+        &[],
+        before.saturating_sub(after),
+    );
+    telem.recorder.record(
+        ticks,
+        "optimize",
+        format!(
+            "{} -> {} ops, {} rewrites",
+            before,
+            after,
+            report.total_rewrites()
+        ),
+    );
+    prog
 }
 
 impl Runtime {
@@ -214,6 +273,8 @@ impl Runtime {
         let design = synergy_vlog::compile(source, top)?;
         let software = Device::software();
         let tier = CompiledTier::from_env();
+        let opt_level = OptLevel::from_env();
+        let mut telem = Mutex::new(Telemetry::default());
         let mut compiled = None;
         let mut fallback: Option<String> = None;
         let (engine, device): (Box<dyn Engine>, Device) = match policy {
@@ -225,6 +286,12 @@ impl Runtime {
                 match synergy_codegen::compile(&design) {
                     Ok(prog) => {
                         compiled = Some(prog.clone());
+                        let prog = optimize_for_engine(
+                            prog,
+                            opt_level,
+                            telem.get_mut().unwrap_or_else(|e| e.into_inner()),
+                            0,
+                        );
                         (
                             Box::new(CompiledEngine::from_program_with_tier(prog, clock, tier)?)
                                 as Box<dyn Engine>,
@@ -246,7 +313,6 @@ impl Runtime {
                 }
             }
         };
-        let mut telem = Mutex::new(Telemetry::default());
         if let Some(reason) = fallback {
             let t = telem.get_mut().unwrap_or_else(|e| e.into_inner());
             t.registry.counter_add(
@@ -276,6 +342,7 @@ impl Runtime {
             compiled,
             policy,
             tier,
+            opt_level,
             finished: None,
             telem,
         })
@@ -347,6 +414,32 @@ impl Runtime {
     pub fn set_compiled_tier(&mut self, tier: CompiledTier) -> VlogResult<()> {
         self.tier = tier;
         if self.mode() == ExecMode::Compiled && self.engine_tier() != tier {
+            self.migrate_to_compiled()?;
+        }
+        Ok(())
+    }
+
+    /// The optimization level future compiled engines are built at.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// Selects the netlist optimization level. Takes effect immediately when
+    /// the program is running on the compiled engine (state migrates across
+    /// via a snapshot, exactly like a tier change) and applies to future
+    /// migrations otherwise. `O0` is the escape hatch that runs the program
+    /// exactly as lowered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-construction errors from the re-migration; the
+    /// current engine is left untouched on failure.
+    pub fn set_opt_level(&mut self, level: OptLevel) -> VlogResult<()> {
+        if self.opt_level == level {
+            return Ok(());
+        }
+        self.opt_level = level;
+        if self.mode() == ExecMode::Compiled {
             self.migrate_to_compiled()?;
         }
         Ok(())
@@ -807,6 +900,12 @@ impl Runtime {
                     return Err(e);
                 }
             },
+        };
+        let program = {
+            let ticks = self.ticks;
+            let level = self.opt_level;
+            let telem = self.telem.get_mut().unwrap_or_else(|p| p.into_inner());
+            optimize_for_engine(program, level, telem, ticks)
         };
         let mut compiled = CompiledEngine::from_program_with_tier(program, &self.clock, self.tier)?;
         let initials_run = self.engine.initials_run();

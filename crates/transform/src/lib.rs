@@ -49,7 +49,7 @@
 //! # Ok::<(), synergy_vlog::VlogError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod normalize;
 pub mod schedule;

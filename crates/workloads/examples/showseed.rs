@@ -1,5 +1,6 @@
 //! Developer utility: sweep fuzz seeds differentially (interpreter vs both
-//! compiled-engine tiers), print one seed's generated source, regenerate the
+//! compiled-engine tiers vs the optimized regalloc tier, four-way), print
+//! one seed's generated source, regenerate the
 //! committed golden checkpoints, or sweep seeds through a checkpoint
 //! round-trip (checkpoint mid-run, restore, lockstep-compare against the
 //! uninterrupted run).
@@ -22,19 +23,31 @@ fn run_seed(seed: u64, ticks: usize) -> Result<(), String> {
     let design =
         synergy_vlog::compile(&d.source, &d.top).map_err(|e| format!("elaborate: {}", e))?;
     let prog = synergy_codegen::compile(&design).map_err(|e| format!("lower: {}", e))?;
+    let mut oprog = prog.clone();
+    let report = synergy_opt::optimize_with_passes(&mut oprog, &synergy_opt::PASS_NAMES);
+    if report.any_reverted() {
+        return Err(format!(
+            "an optimization pass failed validation and reverted\n{}",
+            d.source
+        ));
+    }
     let mut interp = Interpreter::new(design);
     let mut sim =
         synergy_codegen::CompiledSim::with_tier(prog.clone(), synergy_codegen::Tier::RegAlloc)
             .map_err(|e| format!("regalloc translation: {}", e))?;
     let mut stack =
         synergy_codegen::CompiledSim::with_tier(prog, synergy_codegen::Tier::Stack).unwrap();
+    let mut osim = synergy_codegen::CompiledSim::with_tier(oprog, synergy_codegen::Tier::RegAlloc)
+        .map_err(|e| format!("optimized regalloc translation: {}", e))?;
     let mut ienv = BufferEnv::new();
     let mut cenv = BufferEnv::new();
     let mut senv = BufferEnv::new();
+    let mut oenv = BufferEnv::new();
     if let Some(path) = &d.input_path {
         let data = fuzz_input_data(seed, ticks / 2);
         ienv.add_file(path.clone(), data.clone());
         senv.add_file(path.clone(), data.clone());
+        oenv.add_file(path.clone(), data.clone());
         cenv.add_file(path.clone(), data);
     }
     for t in 0..ticks {
@@ -43,17 +56,20 @@ fn run_seed(seed: u64, ticks: usize) -> Result<(), String> {
         let ir = interp.tick(&d.clock, &mut ienv);
         let cr = sim.tick(&d.clock, &mut cenv);
         let sr = stack.tick(&d.clock, &mut senv);
-        match (&ir, &cr, &sr) {
-            (Ok(()), Ok(()), Ok(())) => {}
-            (Err(a), Err(b), Err(c))
-                if a.to_string() == b.to_string() && a.to_string() == c.to_string() =>
+        let or = osim.tick(&d.clock, &mut oenv);
+        match (&ir, &cr, &sr, &or) {
+            (Ok(()), Ok(()), Ok(()), Ok(())) => {}
+            (Err(a), Err(b), Err(c), Err(d))
+                if a.to_string() == b.to_string()
+                    && a.to_string() == c.to_string()
+                    && a.to_string() == d.to_string() =>
             {
                 break
             }
             _ => {
                 return Err(format!(
-                    "engines disagree at tick {} (interp: {:?}, regalloc: {:?}, stack: {:?})",
-                    t, ir, cr, sr
+                    "engines disagree at tick {} (interp: {:?}, regalloc: {:?}, stack: {:?}, optimized: {:?})",
+                    t, ir, cr, sr, or
                 ))
             }
         }
@@ -64,14 +80,23 @@ fn run_seed(seed: u64, ticks: usize) -> Result<(), String> {
         if isnap != stack.save_state() {
             return Err(format!("stack snapshots diverge at tick {}", t));
         }
-        if interp.finished() != sim.finished() || interp.finished() != stack.finished() {
+        if isnap != osim.save_state() {
+            return Err(format!("optimized snapshots diverge at tick {}", t));
+        }
+        if interp.finished() != sim.finished()
+            || interp.finished() != stack.finished()
+            || interp.finished() != osim.finished()
+        {
             return Err(format!("finish diverges at tick {}", t));
         }
         if interp.finished().is_some() {
             break;
         }
     }
-    if ienv.output_text() != cenv.output_text() || ienv.output_text() != senv.output_text() {
+    if ienv.output_text() != cenv.output_text()
+        || ienv.output_text() != senv.output_text()
+        || ienv.output_text() != oenv.output_text()
+    {
         return Err("output diverges".into());
     }
     Ok(())

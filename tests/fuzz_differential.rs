@@ -1,12 +1,14 @@
 //! Cross-engine differential fuzzing: random designs from the
 //! `synergy-workloads` fuzz generator run in lockstep on the reference
-//! interpreter and *both* compiled-engine tiers (stack bytecode and the
-//! register-allocated word tier), and must stay bit-identical — snapshots at
-//! every tick, `$display` output, raised effects, and exit codes. Any
-//! divergence is an engine bug by definition (the interpreter is the
-//! semantic reference), and its seed gets pinned in the regression corpus
-//! below. Constructing the regalloc tier strictly (no silent stack
-//! fallback) also proves the translation is total over the fuzz envelope.
+//! interpreter, *both* compiled-engine tiers (stack bytecode and the
+//! register-allocated word tier), and an optimizer leg (the full
+//! `synergy-opt` pass pipeline over the netlist before regalloc lowering),
+//! and must stay bit-identical — snapshots at every tick, `$display`
+//! output, raised effects, and exit codes. Any divergence is an engine (or
+//! optimizer) bug by definition (the interpreter is the semantic
+//! reference), and its seed gets pinned in the regression corpus below.
+//! Constructing the regalloc tier strictly (no silent stack fallback) also
+//! proves the translation is total over the fuzz envelope.
 
 use proptest::prelude::*;
 use synergy::codegen::{compile, CompiledSim, Tier};
@@ -35,14 +37,30 @@ fn assert_engines_agree(seed: u64) {
             seed, e, d.source
         )
     });
-    let mut stack = CompiledSim::with_tier(prog, Tier::Stack).unwrap();
+    let mut stack = CompiledSim::with_tier(prog.clone(), Tier::Stack).unwrap();
+    let mut oprog = prog;
+    let report = synergy::opt::optimize(&mut oprog);
+    assert!(
+        !report.any_reverted(),
+        "seed {}: an optimization pass failed validation and reverted\n{}",
+        seed,
+        d.source
+    );
+    let mut osim = CompiledSim::with_tier(oprog, Tier::RegAlloc).unwrap_or_else(|e| {
+        panic!(
+            "seed {}: optimized netlist left the regalloc envelope: {}\n{}",
+            seed, e, d.source
+        )
+    });
     let mut ienv = BufferEnv::new();
     let mut cenv = BufferEnv::new();
     let mut senv = BufferEnv::new();
+    let mut oenv = BufferEnv::new();
     if let Some(path) = &d.input_path {
         let data = fuzz_input_data(seed, TICKS / 2);
         ienv.add_file(path.clone(), data.clone());
         senv.add_file(path.clone(), data.clone());
+        oenv.add_file(path.clone(), data.clone());
         cenv.add_file(path.clone(), data);
     }
 
@@ -53,6 +71,7 @@ fn assert_engines_agree(seed: u64) {
         let ir = interp.tick(&d.clock, &mut ienv);
         let cr = sim.tick(&d.clock, &mut cenv);
         let sr = stack.tick(&d.clock, &mut senv);
+        let or = osim.tick(&d.clock, &mut oenv);
         match (&cr, &sr) {
             (Ok(()), Ok(())) => {}
             (Err(a), Err(b)) => assert_eq!(
@@ -66,6 +85,21 @@ fn assert_engines_agree(seed: u64) {
             _ => panic!(
                 "seed {}: only one tier errored at tick {} (regalloc: {:?}, stack: {:?})\n{}",
                 seed, t, cr, sr, d.source
+            ),
+        }
+        match (&cr, &or) {
+            (Ok(()), Ok(())) => {}
+            (Err(a), Err(b)) => assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "seed {}: optimized leg errors differently at tick {}\n{}",
+                seed,
+                t,
+                d.source
+            ),
+            _ => panic!(
+                "seed {}: only one leg errored at tick {} (O0: {:?}, optimized: {:?})\n{}",
+                seed, t, cr, or, d.source
             ),
         }
         match (&ir, &cr) {
@@ -106,9 +140,25 @@ fn assert_engines_agree(seed: u64) {
             d.source
         );
         assert_eq!(
+            isnap,
+            osim.save_state(),
+            "seed {}: optimized snapshots diverge at tick {}\n{}",
+            seed,
+            t,
+            d.source
+        );
+        assert_eq!(
             interp.finished(),
             sim.finished(),
             "seed {}: finish state diverges at tick {}\n{}",
+            seed,
+            t,
+            d.source
+        );
+        assert_eq!(
+            interp.finished(),
+            osim.finished(),
+            "seed {}: optimized finish state diverges at tick {}\n{}",
             seed,
             t,
             d.source
@@ -132,9 +182,24 @@ fn assert_engines_agree(seed: u64) {
         d.source
     );
     assert_eq!(
-        interp.take_effects(),
+        ienv.output_text(),
+        oenv.output_text(),
+        "seed {}: optimized output diverges\n{}",
+        seed,
+        d.source
+    );
+    let ieffects = interp.take_effects();
+    assert_eq!(
+        ieffects,
         sim.take_effects(),
         "seed {}: effects diverge\n{}",
+        seed,
+        d.source
+    );
+    assert_eq!(
+        ieffects,
+        osim.take_effects(),
+        "seed {}: optimized effects diverge\n{}",
         seed,
         d.source
     );
