@@ -10,6 +10,7 @@ pub mod experiments;
 pub mod jsonish;
 pub mod regress;
 pub mod scaling;
+pub mod serving;
 
 pub use experiments::{
     execution_overheads, fig10_migration, fig11_temporal, fig12_spatial, fig13_14_15_overheads,
@@ -20,6 +21,7 @@ pub use regress::{checks_table, run_checks, Check, TOLERANCE};
 pub use scaling::{
     model_speedup, run_scaling_sweep, scaling_json, scaling_table, ScalingMeasurement,
 };
+pub use serving::{run_serving, serving_json, serving_table, ServingConfig, ServingReport};
 
 #[cfg(test)]
 mod tests {

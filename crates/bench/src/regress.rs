@@ -14,7 +14,11 @@
 //! * `BENCH_telemetry.json` — the telemetry subsystem's overhead budget:
 //!   enabling metrics + the flight recorder may not slow the regalloc-tier
 //!   hot loop by more than `allowed_overhead` (a hard bound, zero
-//!   tolerance — see [`run_checks`]).
+//!   tolerance — see [`run_checks`]);
+//! * `BENCH_cluster_serving.json` — the deterministic cluster-serving gate:
+//!   the smoke-scale tenant-churn run (seeded churn + seeded fault plan)
+//!   must reproduce the committed p99 round latency **exactly** and lose
+//!   zero tenants (PR 9's tentpole win; zero tolerance, both directions).
 //!
 //! Only *ratios* are compared — absolute ticks/sec vary wildly across CI
 //! runners, but the compiled/interpreted and parallel/sequential ratios are
@@ -266,7 +270,20 @@ fn measure_telemetry_overhead(
 /// — with zero tolerance — exactly when the measured overhead exceeds the
 /// budget. The handicap divides the budget, which verifiably forces a
 /// failure.
-pub fn run_checks(interp_vs_compiled: &str, hv_scaling: &str, telemetry: &str) -> Vec<Check> {
+///
+/// The cluster-serving checks exploit that the serving benchmark is fully
+/// virtual and therefore bit-deterministic: the gate re-runs the committed
+/// `gate` config and demands **exact equality** (zero tolerance, both
+/// directions) on the p99 round latency, plus `survival == 1.0` (no tenant
+/// lost to the seeded fault plan). Any drift in scheduling, placement,
+/// checkpointing, or crash recovery fails the gate. The handicap divides
+/// each measured side, which verifiably forces a failure.
+pub fn run_checks(
+    interp_vs_compiled: &str,
+    hv_scaling: &str,
+    telemetry: &str,
+    cluster_serving: &str,
+) -> Vec<Check> {
     let handicap = handicap();
     let mut checks = Vec::new();
 
@@ -348,6 +365,35 @@ pub fn run_checks(interp_vs_compiled: &str, hv_scaling: &str, telemetry: &str) -
         name: "telemetry/regalloc_overhead_budget".into(),
         baseline: overhead.max(1.0),
         measured: allowed / handicap,
+        tolerance: 0.0,
+    });
+
+    let committed_p99 = num_field(cluster_serving, "gate_p99_round_ticks")
+        .expect("cluster_serving baseline has gate_p99_round_ticks");
+    let committed_survival = num_field(cluster_serving, "gate_survival")
+        .expect("cluster_serving baseline has gate_survival");
+    let fresh = crate::serving::run_serving(&crate::serving::ServingConfig::gate());
+    // Exact-equality pin, both directions: the floor check fails when the
+    // fresh p99 falls below the committed value, the ceiling check fails
+    // when it rises above it. Together they demand bit-identical behaviour.
+    checks.push(Check {
+        name: "cluster_serving/p99_floor".into(),
+        baseline: committed_p99,
+        measured: fresh.p99_round_ticks as f64 / handicap,
+        tolerance: 0.0,
+    });
+    checks.push(Check {
+        name: "cluster_serving/p99_ceiling".into(),
+        baseline: fresh.p99_round_ticks as f64,
+        measured: committed_p99 / handicap,
+        tolerance: 0.0,
+    });
+    // Zero tenant loss under the seeded fault plan, and the committed
+    // artifact must claim the same.
+    checks.push(Check {
+        name: "cluster_serving/survival".into(),
+        baseline: committed_survival.max(1.0),
+        measured: fresh.survival / handicap,
         tolerance: 0.0,
     });
 

@@ -59,7 +59,10 @@ pub use synergy_workloads as workloads;
 pub use synergy_amorphos::DomainId;
 pub use synergy_codegen::{CompiledProgram, CompiledSim};
 pub use synergy_fpga::{BitstreamCache, Device, RamStyle, SynthOptions, SynthReport};
-pub use synergy_hv::{AppId, Cluster, DeployOutcome, Hypervisor, NodeId, RoundStats, SchedPolicy};
+pub use synergy_hv::{
+    AppId, Cluster, ControlConfig, ControlPlane, DeployOutcome, FaultKind, FaultPlan, Hypervisor,
+    NodeId, RecoveryReport, RoundStats, SchedPolicy, TenantSpec,
+};
 pub use synergy_opt as opt;
 pub use synergy_runtime::{
     CheckpointError, CompiledTier, EnginePolicy, ExecMode, OptLevel, Runtime, RuntimeEvent,

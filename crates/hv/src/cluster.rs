@@ -28,6 +28,13 @@ pub struct Cluster {
     tier: Option<CompiledTier>,
     opt_level: Option<OptLevel>,
     sched: SchedPolicy,
+    round_tick_cap: Option<u64>,
+    tenant_capacity: Option<usize>,
+    /// Armed deterministic migration faults: while non-zero, the next
+    /// [`Cluster::live_migrate`] calls fail after the wire crossing
+    /// (exercising the rebuild-and-reconnect recovery path) and decrement
+    /// the counter. Chaos-plan plumbing; see [`crate::FaultPlan`].
+    migration_faults: u64,
 }
 
 impl Default for Cluster {
@@ -46,11 +53,15 @@ impl Cluster {
             tier: None,
             opt_level: None,
             sched: SchedPolicy::Sequential,
+            round_tick_cap: None,
+            tenant_capacity: None,
+            migration_faults: 0,
         }
     }
 
-    /// Adds a node managing the given device.
-    pub fn add_node(&mut self, device: Device) -> NodeId {
+    /// Builds a hypervisor carrying every cluster-wide knob (the shared
+    /// constructor behind [`Cluster::add_node`] and [`Cluster::reset_node`]).
+    fn build_node(&self, device: Device) -> Hypervisor {
         let mut hv = Hypervisor::with_cache(device, self.cache.clone());
         hv.set_engine_policy(self.policy);
         if let Some(tier) = self.tier {
@@ -59,9 +70,45 @@ impl Cluster {
         if let Some(level) = self.opt_level {
             hv.set_opt_level(level);
         }
+        if let Some(cap) = self.round_tick_cap {
+            hv.set_round_tick_cap(cap);
+        }
+        hv.set_tenant_capacity(self.tenant_capacity);
         hv.set_sched_policy(self.sched);
+        hv
+    }
+
+    /// Adds a node managing the given device.
+    pub fn add_node(&mut self, device: Device) -> NodeId {
+        let hv = self.build_node(device);
         self.nodes.push(hv);
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// Replaces a node's hypervisor with a fresh, empty one managing the
+    /// same device (all connected tenants and fabric state are dropped on
+    /// the floor) — the crash primitive behind
+    /// [`crate::FaultKind::KillNode`], also usable as the rollback step of
+    /// coordinated recovery. Cluster-wide knobs are re-applied; the shared
+    /// bitstream cache survives (it models the cluster-wide artifact store,
+    /// not node memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::UnknownNode`] for an out-of-range id.
+    pub fn reset_node(&mut self, id: NodeId) -> Result<(), HvError> {
+        let device = self.try_node(id)?.device().clone();
+        self.nodes[id.0] = self.build_node(device);
+        Ok(())
+    }
+
+    /// Arms `n` deterministic migration faults: each subsequent
+    /// [`Cluster::live_migrate`] fails with [`HvError::Injected`] *after*
+    /// the tenant has been serialized to wire bytes — the worst spot, which
+    /// forces the rebuild-from-wire recovery path — until the counter
+    /// drains.
+    pub fn inject_migration_failures(&mut self, n: u64) {
+        self.migration_faults += n;
     }
 
     /// Selects the compiled-engine tier on every current and future node
@@ -100,6 +147,24 @@ impl Cluster {
         }
     }
 
+    /// Caps per-tenant round tick budgets on every current and future node
+    /// (see [`Hypervisor::set_round_tick_cap`]).
+    pub fn set_round_tick_cap(&mut self, cap: u64) {
+        self.round_tick_cap = Some(cap);
+        for node in &mut self.nodes {
+            node.set_round_tick_cap(cap);
+        }
+    }
+
+    /// Caps software tenant admission on every current and future node
+    /// (see [`Hypervisor::set_tenant_capacity`]).
+    pub fn set_tenant_capacity(&mut self, capacity: Option<usize>) {
+        self.tenant_capacity = capacity;
+        for node in &mut self.nodes {
+            node.set_tenant_capacity(capacity);
+        }
+    }
+
     /// Number of nodes in the cluster.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -115,22 +180,48 @@ impl Cluster {
         &self.cache
     }
 
+    /// Every node id, in index order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).map(NodeId).collect()
+    }
+
+    /// Fallible access to a node's hypervisor — the form every control-plane
+    /// path that takes an external id uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::UnknownNode`] for an out-of-range id.
+    pub fn try_node(&self, id: NodeId) -> Result<&Hypervisor, HvError> {
+        self.nodes.get(id.0).ok_or(HvError::UnknownNode(id.0))
+    }
+
+    /// Fallible mutable access to a node's hypervisor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::UnknownNode`] for an out-of-range id.
+    pub fn try_node_mut(&mut self, id: NodeId) -> Result<&mut Hypervisor, HvError> {
+        self.nodes.get_mut(id.0).ok_or(HvError::UnknownNode(id.0))
+    }
+
     /// Access to a node's hypervisor.
     ///
     /// # Panics
     ///
-    /// Panics if the node id is out of range.
+    /// Panics if the node id is out of range; prefer [`Cluster::try_node`]
+    /// when the id comes from outside.
     pub fn node(&self, id: NodeId) -> &Hypervisor {
-        &self.nodes[id.0]
+        self.try_node(id).expect("node id in range")
     }
 
     /// Mutable access to a node's hypervisor.
     ///
     /// # Panics
     ///
-    /// Panics if the node id is out of range.
+    /// Panics if the node id is out of range; prefer
+    /// [`Cluster::try_node_mut`] when the id comes from outside.
     pub fn node_mut(&mut self, id: NodeId) -> &mut Hypervisor {
-        &mut self.nodes[id.0]
+        self.try_node_mut(id).expect("node id in range")
     }
 
     /// A fleet-wide metrics snapshot: every node's [`Hypervisor::metrics`]
@@ -171,7 +262,8 @@ impl Cluster {
         domain: DomainId,
         io_bound: bool,
     ) -> Result<(AppId, DeployOutcome), HvError> {
-        let runtime: Runtime = self.node_mut(from).disconnect(app)?;
+        self.try_node(to)?;
+        let runtime: Runtime = self.try_node_mut(from)?.disconnect(app)?;
         let target = self.node_mut(to);
         let new_id = target.connect(runtime, domain, io_bound);
         let outcome = target.deploy(new_id)?;
@@ -195,7 +287,10 @@ impl Cluster {
     ///
     /// Returns an error if the application is unknown on the source node,
     /// the checkpoint cannot be rebuilt ([`HvError::Checkpoint`]), or the
-    /// target cannot deploy it.
+    /// target cannot deploy it. On any failure *after* the wire crossing the
+    /// tenant is rebuilt from the wire bytes and reconnected (and, if it was
+    /// deployed before, redeployed best-effort) on the source node — a failed
+    /// migration never loses the tenant.
     pub fn live_migrate(
         &mut self,
         from: NodeId,
@@ -204,15 +299,73 @@ impl Cluster {
         domain: DomainId,
         io_bound: bool,
     ) -> Result<(AppId, DeployOutcome), HvError> {
+        self.try_node(to)?;
+        let (src_domain, src_io, was_deployed) = self.try_node(from)?.slot_meta(app)?;
         let runtime: Runtime = self.node_mut(from).disconnect(app)?;
         // The wire crossing: everything the tenant is becomes bytes...
         let wire = runtime.save_checkpoint();
         drop(runtime);
         // ...and a brand-new runtime (as in a different process) comes back.
-        let restored = Runtime::restore_checkpoint(&wire)?;
+        let restored = if self.migration_faults > 0 {
+            self.migration_faults -= 1;
+            Err(HvError::Injected(format!(
+                "live_migrate app={} {}->{}: injected wire-crossing fault",
+                app.0, from.0, to.0
+            )))
+        } else {
+            Runtime::restore_checkpoint(&wire).map_err(HvError::from)
+        };
+        let failure = match restored {
+            Ok(restored) => {
+                let target = self.node_mut(to);
+                let new_id = target.connect(restored, domain, io_bound);
+                match target.deploy(new_id) {
+                    Ok(outcome) => return self.finish_live_migrate(to, new_id, &wire, outcome),
+                    Err(e) => {
+                        // Evict the half-migrated tenant from the target; the
+                        // wire bytes are the authoritative copy from here on.
+                        drop(self.node_mut(to).disconnect(new_id)?);
+                        e
+                    }
+                }
+            }
+            Err(e) => e,
+        };
+        // Recovery: the tenant still exists as wire bytes — rebuild it and
+        // hand it back to the source node, surfacing the original error.
+        let rebuilt = Runtime::restore_checkpoint(&wire)?;
+        let source = self.node_mut(from);
+        let back_id = source.connect(rebuilt, src_domain, src_io);
+        if was_deployed {
+            // Best-effort: the fabric slot was freed by the disconnect above,
+            // so this succeeds in practice; if it doesn't, the tenant is
+            // still connected (software-resident) and nothing is lost.
+            let _ = source.deploy(back_id);
+        }
+        if synergy_telemetry::enabled() {
+            let rounds = source.rounds();
+            let t = source.telemetry_mut();
+            t.registry
+                .counter_add(Namespace::Det, "cluster_migration_failures_total", &[], 1);
+            t.recorder.record(
+                rounds,
+                "live_migrate_rollback",
+                format!("app={} target_node={} error={}", back_id.0, to.0, failure),
+            );
+        }
+        Err(failure)
+    }
+
+    /// Success tail of [`Cluster::live_migrate`]: records the migration
+    /// metrics on the node that now hosts the tenant.
+    fn finish_live_migrate(
+        &mut self,
+        to: NodeId,
+        new_id: AppId,
+        wire: &[u8],
+        outcome: DeployOutcome,
+    ) -> Result<(AppId, DeployOutcome), HvError> {
         let target = self.node_mut(to);
-        let new_id = target.connect(restored, domain, io_bound);
-        let outcome = target.deploy(new_id)?;
         // Downtime is the simulated latency of re-admission on the target —
         // deterministic (virtual) time, so it lives in the Det namespace on
         // the node that now hosts the tenant.
@@ -247,9 +400,19 @@ impl Cluster {
         Ok((new_id, outcome))
     }
 
+    /// `true` when a deployment rejection is capacity-shaped — the tenant is
+    /// fine, the node just cannot host it right now — and delegation to
+    /// another node is the right response.
+    fn is_capacity_rejection(e: &HvError) -> bool {
+        matches!(e, HvError::Fabric(_) | HvError::SoftwareCapacity { .. })
+    }
+
     /// Deploys an application on `preferred`, falling back to the other nodes when
     /// the preferred device cannot admit it — the nested-delegation behaviour of
-    /// §4.1 (step 6 of Figure 6).
+    /// §4.1 (step 6 of Figure 6). Delegation triggers on any capacity-shaped
+    /// rejection (fabric placement *or* software tenant capacity); every node
+    /// skipped along the way is recorded, with its reason, in the preferred
+    /// node's flight recorder (`delegation_skip` events).
     ///
     /// # Errors
     ///
@@ -261,20 +424,32 @@ impl Cluster {
         domain: DomainId,
         io_bound: bool,
     ) -> Result<(NodeId, AppId, DeployOutcome), HvError> {
-        match self.node_mut(preferred).deploy(app) {
+        match self.try_node_mut(preferred)?.deploy(app) {
             Ok(outcome) => Ok((preferred, app, outcome)),
-            Err(HvError::Fabric(_)) => {
-                // Delegate to the first other node that accepts the program.
+            Err(e) if Self::is_capacity_rejection(&e) => {
+                // Delegate to the first other node that accepts the program,
+                // keeping a skip ledger of every rejection on the way.
+                let mut skips: Vec<(usize, String)> = vec![(preferred.0, e.to_string())];
                 let runtime = self.node_mut(preferred).disconnect(app)?;
                 let mut runtime = Some(runtime);
-                let mut last_err = HvError::UnknownApp(app.0);
+                let mut last_err = e;
+                let mut placed = None;
                 for idx in 0..self.nodes.len() {
                     if idx == preferred.0 {
                         continue;
                     }
                     let rt = runtime.take().expect("runtime present");
                     let node = &mut self.nodes[idx];
-                    let new_id = node.connect(rt, domain, io_bound);
+                    let new_id = match node.try_connect(rt, domain, io_bound) {
+                        Ok(id) => id,
+                        Err(rejected) => {
+                            let (e, rt) = *rejected;
+                            skips.push((idx, e.to_string()));
+                            last_err = e;
+                            runtime = Some(rt);
+                            continue;
+                        }
+                    };
                     match node.deploy(new_id) {
                         Ok(outcome) => {
                             // Placement decision: the preferred node was
@@ -297,15 +472,37 @@ impl Cluster {
                                     ),
                                 );
                             }
-                            return Ok((NodeId(idx), new_id, outcome));
+                            placed = Some((NodeId(idx), new_id, outcome));
+                            break;
                         }
                         Err(e) => {
+                            skips.push((idx, e.to_string()));
                             last_err = e;
                             runtime = Some(node.disconnect(new_id)?);
                         }
                     }
                 }
-                Err(last_err)
+                // Nobody took it: re-home the tenant (software-resident,
+                // over-capacity if need be) on the preferred node rather than
+                // dropping it — delegation failure must never lose a tenant.
+                if let Some(rt) = runtime.take() {
+                    let home = self.node_mut(preferred);
+                    let back_id = home.connect(rt, domain, io_bound);
+                    skips.push((preferred.0, format!("re-homed as app={}", back_id.0)));
+                }
+                if synergy_telemetry::enabled() {
+                    let home = self.node_mut(preferred);
+                    let rounds = home.rounds();
+                    let t = home.telemetry_mut();
+                    for (idx, reason) in &skips {
+                        t.recorder.record(
+                            rounds,
+                            "delegation_skip",
+                            format!("app={} node={} reason={}", app.0, idx, reason),
+                        );
+                    }
+                }
+                placed.ok_or(last_err)
             }
             Err(e) => Err(e),
         }
@@ -435,6 +632,151 @@ mod tests {
             in_proc.node(f1_a).app(new_a).unwrap().now_ns(),
             wire.node(f1_b).app(new_b).unwrap().now_ns(),
         );
+    }
+
+    #[test]
+    fn failed_live_migrate_reconnects_the_tenant_to_the_source() {
+        let mut cluster = Cluster::new();
+        let de10 = cluster.add_node(Device::de10());
+        // Target too small to deploy anything: the wire crossing succeeds but
+        // the target `deploy` fails, which used to drop the tenant forever.
+        let tiny = cluster.add_node(Device {
+            name: "tiny".into(),
+            lut_capacity: 10,
+            ff_capacity: 10,
+            bram_bits: 10,
+            ..Device::de10()
+        });
+
+        let app = cluster
+            .node_mut(de10)
+            .connect(counter_runtime("c"), DomainId(1), false);
+        cluster.node_mut(de10).deploy(app).unwrap();
+        cluster.node_mut(de10).run_round(0.0002).unwrap();
+        let before = cluster
+            .node(de10)
+            .app(app)
+            .unwrap()
+            .get_bits("count")
+            .unwrap()
+            .to_u64();
+        assert!(before > 0);
+
+        let err = cluster
+            .live_migrate(de10, app, tiny, DomainId(1), false)
+            .unwrap_err();
+        assert!(matches!(err, HvError::Fabric(_)), "got {err}");
+
+        // The tenant survived the failed migration: back on the source node,
+        // state intact, still runnable.
+        assert!(cluster.node(tiny).apps().is_empty());
+        let homed = cluster.node(de10).apps();
+        assert_eq!(homed.len(), 1);
+        let back = homed[0];
+        let after = cluster
+            .node(de10)
+            .app(back)
+            .unwrap()
+            .get_bits("count")
+            .unwrap()
+            .to_u64();
+        assert_eq!(after, before, "state survives the rollback");
+        cluster.node_mut(de10).run_round(0.0002).unwrap();
+        assert!(
+            cluster
+                .node(de10)
+                .app(back)
+                .unwrap()
+                .get_bits("count")
+                .unwrap()
+                .to_u64()
+                > before
+        );
+        assert!(cluster
+            .node(de10)
+            .flight_dump()
+            .contains("live_migrate_rollback"));
+    }
+
+    #[test]
+    fn injected_migration_fault_rolls_back_then_drains() {
+        let mut cluster = Cluster::new();
+        let a = cluster.add_node(Device::de10());
+        let b = cluster.add_node(Device::de10());
+        let app = cluster
+            .node_mut(a)
+            .connect(counter_runtime("c"), DomainId(1), false);
+        cluster.node_mut(a).deploy(app).unwrap();
+        cluster.node_mut(a).run_round(0.0002).unwrap();
+
+        cluster.inject_migration_failures(1);
+        let err = cluster
+            .live_migrate(a, app, b, DomainId(1), false)
+            .unwrap_err();
+        assert!(matches!(err, HvError::Injected(_)), "got {err}");
+        assert_eq!(cluster.node(a).apps().len(), 1);
+        assert!(cluster.node(b).apps().is_empty());
+
+        // The fault was consumed: the retry goes through.
+        let back = cluster.node(a).apps()[0];
+        cluster
+            .live_migrate(a, back, b, DomainId(1), false)
+            .unwrap();
+        assert!(cluster.node(a).apps().is_empty());
+        assert_eq!(cluster.node(b).apps().len(), 1);
+    }
+
+    #[test]
+    fn try_node_returns_typed_errors_for_out_of_range_ids() {
+        let mut cluster = Cluster::new();
+        let only = cluster.add_node(Device::de10());
+        assert!(matches!(
+            cluster.try_node(NodeId(7)),
+            Err(HvError::UnknownNode(7))
+        ));
+        assert!(matches!(
+            cluster.try_node_mut(NodeId(7)),
+            Err(HvError::UnknownNode(7))
+        ));
+        // A migration towards a bad node fails fast, before the tenant is
+        // disturbed on the source.
+        let app = cluster
+            .node_mut(only)
+            .connect(counter_runtime("c"), DomainId(1), false);
+        cluster.node_mut(only).deploy(app).unwrap();
+        let err = cluster
+            .live_migrate(only, app, NodeId(9), DomainId(1), false)
+            .unwrap_err();
+        assert!(matches!(err, HvError::UnknownNode(9)));
+        assert!(cluster.node(only).app(app).is_ok());
+    }
+
+    #[test]
+    fn delegation_covers_software_capacity_and_records_skip_reasons() {
+        let mut cluster = Cluster::new();
+        let a = cluster.add_node(Device::de10());
+        let b = cluster.add_node(Device::de10());
+        cluster.set_tenant_capacity(Some(1));
+
+        let first = cluster
+            .node_mut(a)
+            .connect(counter_runtime("one"), DomainId(1), false);
+        cluster.node_mut(a).deploy(first).unwrap();
+
+        // Second tenant lands on node a over its software capacity; deploying
+        // it there must delegate to node b, not fail.
+        let second = cluster
+            .node_mut(a)
+            .connect(counter_runtime("two"), DomainId(2), false);
+        let (node, placed, _) = cluster
+            .deploy_with_delegation(a, second, DomainId(2), false)
+            .unwrap();
+        assert_eq!(node, b);
+        assert!(cluster.node(b).app(placed).is_ok());
+        // The skip ledger landed in the preferred node's flight recorder.
+        let dump = cluster.node(a).flight_dump();
+        assert!(dump.contains("delegation_skip"), "dump: {dump}");
+        assert!(dump.contains("software capacity"), "dump: {dump}");
     }
 
     #[test]

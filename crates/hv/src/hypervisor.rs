@@ -44,6 +44,32 @@ pub struct EngineId(pub u64);
 pub enum HvError {
     /// The application id is not connected.
     UnknownApp(u64),
+    /// The node id does not name a node of the cluster (see
+    /// [`crate::Cluster::try_node`]).
+    UnknownNode(usize),
+    /// The node's software side is at its configured tenant capacity
+    /// ([`Hypervisor::set_tenant_capacity`]); the caller should place the
+    /// tenant elsewhere — the control plane treats this exactly like a
+    /// fabric rejection.
+    SoftwareCapacity {
+        /// Tenants currently connected to the rejecting node.
+        tenants: usize,
+        /// The node's configured capacity.
+        capacity: usize,
+    },
+    /// A deterministic fault injected by a chaos plan (see
+    /// [`crate::FaultPlan`]); carries the injection site.
+    Injected(String),
+    /// Crash recovery ran out of restorable checkpoints or retry budget;
+    /// the fleet keeps serving but the dead node's tenants could not be
+    /// rebuilt (each is recorded in the control plane's loss ledger —
+    /// never silently dropped).
+    RecoveryExhausted {
+        /// Recovery attempts made before giving up.
+        attempts: u32,
+        /// The last underlying failure, rendered.
+        detail: String,
+    },
     /// The fabric rejected the placement.
     Fabric(FabricError),
     /// The protection layer rejected the operation.
@@ -76,6 +102,18 @@ impl fmt::Display for HvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HvError::UnknownApp(id) => write!(f, "unknown application {}", id),
+            HvError::UnknownNode(id) => write!(f, "unknown node {}", id),
+            HvError::SoftwareCapacity { tenants, capacity } => write!(
+                f,
+                "node is at software capacity ({} tenants, capacity {})",
+                tenants, capacity
+            ),
+            HvError::Injected(site) => write!(f, "injected fault: {}", site),
+            HvError::RecoveryExhausted { attempts, detail } => write!(
+                f,
+                "crash recovery exhausted after {} attempt(s): {}",
+                attempts, detail
+            ),
             HvError::Fabric(e) => write!(f, "fabric error: {}", e),
             HvError::Hull(e) => write!(f, "protection error: {}", e),
             HvError::Compile(e) => write!(f, "compilation error: {}", e),
@@ -255,6 +293,15 @@ pub struct Hypervisor {
     /// Host nanoseconds each tenant's job spent executing in the last round
     /// (telemetry for the scaling benchmark; not part of round semantics).
     last_round_host_ns: Vec<(u64, u64)>,
+    /// Virtual ticks the whole fleet executed in the most recent round —
+    /// deterministic (the cluster control plane keys placement and
+    /// rebalancing decisions off it), unconditionally updated regardless of
+    /// the telemetry gate.
+    last_round_ticks: u64,
+    /// Optional cap on connected tenants. Host policy like the scheduling
+    /// policy — never serialized into fleet checkpoints; a restored fleet
+    /// adopts the restoring hypervisor's capacity.
+    tenant_capacity: Option<usize>,
     /// Hypervisor-level telemetry: scheduler/placement metrics plus a flight
     /// recorder of scheduling decisions and errors. Behind a `Mutex` so
     /// `&self` accessors can record; never contended (the hypervisor itself
@@ -297,6 +344,8 @@ impl Hypervisor {
             drr: DeficitRoundRobin::new(),
             quarantined: BTreeMap::new(),
             last_round_host_ns: Vec::new(),
+            last_round_ticks: 0,
+            tenant_capacity: None,
             telem: Mutex::new(Telemetry::default()),
             rounds: 0,
         }
@@ -311,6 +360,16 @@ impl Hypervisor {
     /// migration/placement metrics on the node that hosts the tenant).
     pub(crate) fn telemetry_mut(&mut self) -> &mut Telemetry {
         self.telem.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A connected tenant's placement metadata: `(domain, io_bound,
+    /// deployed)`. The cluster captures this before disconnecting a tenant
+    /// for migration so a failed migration can reconnect it faithfully.
+    pub(crate) fn slot_meta(&self, id: AppId) -> Result<(DomainId, bool, bool), HvError> {
+        self.apps
+            .get(&id)
+            .map(|s| (s.domain, s.io_bound, s.engine.is_some()))
+            .ok_or(HvError::UnknownApp(id.0))
     }
 
     /// Scheduling rounds completed so far (the virtual timestamp of
@@ -475,6 +534,86 @@ impl Hypervisor {
         self.handshakes
     }
 
+    /// Caps how many tenants this node accepts through the *fallible*
+    /// admission path ([`Hypervisor::try_connect`]) and how many
+    /// [`Hypervisor::deploy`] tolerates before rejecting with
+    /// [`HvError::SoftwareCapacity`]. `None` (the default) is unlimited.
+    ///
+    /// Host policy, like the scheduling policy: the capacity never enters
+    /// fleet checkpoints, and the infallible [`Hypervisor::connect`] ignores
+    /// it (crash recovery must always be able to park a tenant somewhere).
+    pub fn set_tenant_capacity(&mut self, capacity: Option<usize>) {
+        self.tenant_capacity = capacity;
+    }
+
+    /// The configured software tenant capacity (`None` = unlimited).
+    pub fn tenant_capacity(&self) -> Option<usize> {
+        self.tenant_capacity
+    }
+
+    /// Number of connected tenants (cheaper than `apps().len()`).
+    pub fn tenant_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Virtual ticks the fleet executed in the most recent scheduling round.
+    /// Deterministic — bit-identical across [`SchedPolicy`] — and always
+    /// tracked (not gated on the telemetry switch), so control-plane
+    /// placement decisions can key off it.
+    pub fn last_round_ticks(&self) -> u64 {
+        self.last_round_ticks
+    }
+
+    /// Current fabric occupancy (LUT/FF/BRAM usage and LUT fraction) —
+    /// deterministic placement input for the cluster control plane.
+    pub fn fabric_utilization(&self) -> synergy_fpga::Utilization {
+        self.fabric.utilization()
+    }
+
+    /// Capacity-checked admission: rejects with [`HvError::SoftwareCapacity`]
+    /// when the node is at its configured tenant capacity, handing the
+    /// runtime back to the caller so it can be placed elsewhere. Identical
+    /// to [`Hypervisor::connect`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the runtime together with [`HvError::SoftwareCapacity`] when
+    /// the node is full.
+    pub fn try_connect(
+        &mut self,
+        runtime: Runtime,
+        domain: DomainId,
+        io_bound: bool,
+    ) -> Result<AppId, Box<(HvError, Runtime)>> {
+        if let Some(cap) = self.tenant_capacity {
+            if self.apps.len() >= cap {
+                let e = self.noted(HvError::SoftwareCapacity {
+                    tenants: self.apps.len(),
+                    capacity: cap,
+                });
+                return Err(Box::new((e, runtime)));
+            }
+        }
+        Ok(self.connect(runtime, domain, io_bound))
+    }
+
+    /// Puts a connected tenant into quarantine with an explicit postmortem,
+    /// exactly as if its engine had errored mid-round. The cluster control
+    /// plane uses this to re-establish quarantine for tenants that crossed
+    /// nodes during crash recovery (quarantine travels by app id inside one
+    /// fleet frame, but recovery re-admits tenants under fresh ids).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HvError::UnknownApp`] if the id is not connected.
+    pub fn force_quarantine(&mut self, id: AppId, postmortem: String) -> Result<(), HvError> {
+        if !self.apps.contains_key(&id) {
+            return Err(HvError::UnknownApp(id.0));
+        }
+        self.quarantined.insert(id, postmortem);
+        Ok(())
+    }
+
     /// Connects a runtime instance to the hypervisor (step 1 of Figure 6).
     ///
     /// `io_bound` marks streaming applications that contend on the off-device IO
@@ -586,7 +725,7 @@ impl Hypervisor {
     }
 
     fn deploy_inner(&mut self, id: AppId) -> Result<DeployOutcome, HvError> {
-        let slot = self.apps.get_mut(&id).ok_or(HvError::UnknownApp(id.0))?;
+        let slot = self.apps.get(&id).ok_or(HvError::UnknownApp(id.0))?;
         if let Some(engine) = slot.engine {
             // Already deployed; report the current state.
             return Ok(DeployOutcome {
@@ -597,6 +736,19 @@ impl Hypervisor {
                 clock_lowered: false,
             });
         }
+        // An over-capacity node rejects new deployments with the same
+        // capacity-shaped error the fallible connect path uses, so
+        // delegation can move the tenant to a node with headroom
+        // (oversubscription can happen through the infallible `connect`).
+        if let Some(cap) = self.tenant_capacity {
+            if self.apps.len() > cap {
+                return Err(HvError::SoftwareCapacity {
+                    tenants: self.apps.len(),
+                    capacity: cap,
+                });
+            }
+        }
+        let slot = self.apps.get_mut(&id).ok_or(HvError::UnknownApp(id.0))?;
 
         // The instance's compiler sends the sub-program to the hypervisor, which
         // produces a target-specific engine (steps 1-2).
@@ -942,6 +1094,7 @@ impl Hypervisor {
         }
         self.clock.advance_ns(dt_ns);
         self.rounds += 1;
+        self.last_round_ticks = round_ticks;
         if synergy_telemetry::enabled() {
             let planned = runnable.len() as u64;
             let joined = stats.len() as u64;

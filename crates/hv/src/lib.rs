@@ -7,10 +7,15 @@
 #![warn(missing_docs)]
 
 mod cluster;
+mod control;
 mod hypervisor;
 pub mod sched;
 
 pub use cluster::{Cluster, NodeId};
+pub use control::{
+    ControlConfig, ControlEvent, ControlPlane, FaultEvent, FaultKind, FaultPlan, RecoveryReport,
+    TenantInfo, TenantSpec,
+};
 pub use hypervisor::{
     AppId, DeployOutcome, EngineEntry, EngineId, HvError, Hypervisor, RoundStats,
 };

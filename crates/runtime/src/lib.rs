@@ -29,3 +29,7 @@ pub use runtime::{
     CompiledTier, EnginePolicy, ExecMode, OptLevel, Profiler, RunReport, Runtime, RuntimeEvent,
     Sample, MAX_PROFILER_SAMPLES,
 };
+// Engine state capture speaks the interpreter's snapshot type; re-export it so
+// layers above (hypervisor, control plane) can name what `peek_state` returns
+// without depending on the interpreter crate directly.
+pub use synergy_interp::StateSnapshot;
